@@ -1,0 +1,40 @@
+//! Convolutional-auto-encoder data augmentation for under-represented
+//! wafer defect classes (the paper's Section III-B and Algorithm 1).
+//!
+//! The pipeline for one under-represented class `cl`:
+//!
+//! 1. Train a [`ConvAutoencoder`] to reconstruct the class's wafer
+//!    maps (Fig. 3 architecture: 5×5 convolutions with 2×2 max-pool in
+//!    the encoder, a mirrored decoder with upsampling).
+//! 2. For every original image, compute its latent representation `z`,
+//!    perturb it with zero-mean Gaussian noise of std `σ0`, decode,
+//!    **quantize** to the three wafer pixel levels, **rotate** by
+//!    `i·360/n_r`, and add **salt-and-pepper** noise
+//!    (Algorithm 1, lines 3–9).
+//! 3. Tag the synthetic samples with loss weight `w < 1` so the
+//!    training objective penalizes original-sample mistakes `1/w`
+//!    times more.
+//!
+//! # Example
+//!
+//! ```
+//! use augment::{AugmentConfig, Augmenter};
+//! use wafermap::gen::SyntheticWm811k;
+//! use wafermap::DefectClass;
+//!
+//! let (train, _) = SyntheticWm811k::new(16).scale(0.002).seed(3).build();
+//! let config = AugmentConfig::new(12).with_ae_epochs(1).with_channels([4, 4, 4]);
+//! let augmenter = Augmenter::new(config, 7);
+//! let synth = augmenter.augment_class(&train, DefectClass::Donut);
+//! assert!(!synth.is_empty());
+//! assert!(synth.iter().all(|s| s.synthetic && s.weight < 1.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod autoencoder;
+mod pipeline;
+
+pub use autoencoder::{AutoencoderConfig, ConvAutoencoder};
+pub use pipeline::{AugmentConfig, Augmenter};

@@ -1,0 +1,414 @@
+//! Hand-crafted wafer-map features (Wu et al., TSM'15).
+
+use serde::{Deserialize, Serialize};
+
+use wafermap::WaferMap;
+
+/// Configuration of the feature extractor.
+///
+/// The three `use_*` flags allow feature-family ablations (the
+/// `ablation_features` experiment); the default enables all 59
+/// dimensions of the Wu et al. design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureConfig {
+    /// Number of Radon projection angles (each contributes a mean and
+    /// a std feature; Wu et al. use 20 → 40 features).
+    pub radon_angles: usize,
+    /// Include the 13 zone-density features.
+    pub use_density: bool,
+    /// Include the Radon projection features.
+    pub use_radon: bool,
+    /// Include the 6 largest-region geometry features.
+    pub use_geometry: bool,
+}
+
+impl FeatureConfig {
+    /// Total feature dimensionality under the enabled families.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        let mut dim = 0;
+        if self.use_density {
+            dim += 13;
+        }
+        if self.use_radon {
+            dim += 2 * self.radon_angles;
+        }
+        if self.use_geometry {
+            dim += 6;
+        }
+        dim
+    }
+
+    /// Only the 13 zone-density features.
+    #[must_use]
+    pub fn density_only() -> Self {
+        FeatureConfig { use_radon: false, use_geometry: false, ..FeatureConfig::default() }
+    }
+
+    /// Only the Radon projection features.
+    #[must_use]
+    pub fn radon_only() -> Self {
+        FeatureConfig { use_density: false, use_geometry: false, ..FeatureConfig::default() }
+    }
+
+    /// Only the largest-region geometry features.
+    #[must_use]
+    pub fn geometry_only() -> Self {
+        FeatureConfig { use_density: false, use_radon: false, ..FeatureConfig::default() }
+    }
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        FeatureConfig { radon_angles: 20, use_density: true, use_radon: true, use_geometry: true }
+    }
+}
+
+/// Extract the full feature vector for one wafer map.
+///
+/// # Example
+///
+/// ```
+/// use baseline::{features::extract, FeatureConfig};
+/// use wafermap::WaferMap;
+///
+/// let cfg = FeatureConfig::default();
+/// let map = WaferMap::blank(16, 16);
+/// let features = extract(&map, &cfg);
+/// assert_eq!(features.len(), cfg.dim());
+/// ```
+#[must_use]
+pub fn extract(map: &WaferMap, config: &FeatureConfig) -> Vec<f32> {
+    let mut out = Vec::with_capacity(config.dim());
+    if config.use_density {
+        out.extend(density_features(map));
+    }
+    if config.use_radon {
+        out.extend(radon_features(map, config.radon_angles));
+    }
+    if config.use_geometry {
+        out.extend(geometry_features(map));
+    }
+    out
+}
+
+/// 13 zone fail-density features: a 3×3 grid over the wafer interior
+/// (zones 0–8) plus four edge-band quadrants (zones 9–12).
+///
+/// Each value is the fraction of that zone's on-wafer dies that fail
+/// (0 when a zone holds no dies).
+#[must_use]
+pub fn density_features(map: &WaferMap) -> Vec<f32> {
+    let (cx, cy) = map.center();
+    let radius = map.radius();
+    let interior = radius * 0.82;
+    let mut fails = [0u32; 13];
+    let mut totals = [0u32; 13];
+    for (x, y, die) in map.iter_on_wafer() {
+        let dx = x as f32 - cx;
+        let dy = y as f32 - cy;
+        let r = (dx * dx + dy * dy).sqrt();
+        let zone = if r <= interior {
+            // 3×3 grid over the interior disc's bounding box.
+            let gx = (((dx + interior) / (2.0 * interior)) * 3.0).clamp(0.0, 2.999) as usize;
+            let gy = (((dy + interior) / (2.0 * interior)) * 3.0).clamp(0.0, 2.999) as usize;
+            gy * 3 + gx
+        } else {
+            // Edge band split into four quadrants.
+            9 + match (dx >= 0.0, dy >= 0.0) {
+                (true, true) => 0,
+                (false, true) => 1,
+                (false, false) => 2,
+                (true, false) => 3,
+            }
+        };
+        totals[zone] += 1;
+        if die.is_fail() {
+            fails[zone] += 1;
+        }
+    }
+    (0..13)
+        .map(|z| if totals[z] == 0 { 0.0 } else { fails[z] as f32 / totals[z] as f32 })
+        .collect()
+}
+
+/// Radon features: for each of `n_angles` projection directions
+/// uniformly covering `[0°, 180°)`, project the binary fail mask onto
+/// the direction's axis and record the projection's mean and standard
+/// deviation — `2 · n_angles` values (mean block first, then stds).
+///
+/// # Panics
+///
+/// Panics if `n_angles` is zero.
+#[must_use]
+pub fn radon_features(map: &WaferMap, n_angles: usize) -> Vec<f32> {
+    assert!(n_angles > 0, "need at least one projection angle");
+    let (cx, cy) = map.center();
+    // Projection axis length: enough bins to cover the diagonal.
+    let diag = ((map.width() * map.width() + map.height() * map.height()) as f32).sqrt();
+    let n_bins = diag.ceil() as usize + 1;
+    let half = n_bins as f32 / 2.0;
+
+    let fail_points: Vec<(f32, f32)> = map
+        .iter_on_wafer()
+        .filter(|(_, _, d)| d.is_fail())
+        .map(|(x, y, _)| (x as f32 - cx, y as f32 - cy))
+        .collect();
+
+    let mut means = Vec::with_capacity(n_angles);
+    let mut stds = Vec::with_capacity(n_angles);
+    for a in 0..n_angles {
+        let theta = (a as f32) * std::f32::consts::PI / n_angles as f32;
+        let (sin, cos) = theta.sin_cos();
+        let mut bins = vec![0.0f32; n_bins];
+        for &(dx, dy) in &fail_points {
+            // Signed distance of the die from the line through the
+            // centre with direction θ.
+            let proj = dx * cos + dy * sin;
+            let idx = (proj + half).round().clamp(0.0, (n_bins - 1) as f32) as usize;
+            bins[idx] += 1.0;
+        }
+        let mean = bins.iter().sum::<f32>() / n_bins as f32;
+        let var = bins.iter().map(|b| (b - mean).powi(2)).sum::<f32>() / n_bins as f32;
+        means.push(mean);
+        stds.push(var.sqrt());
+    }
+    means.extend(stds);
+    means
+}
+
+/// 6 geometry features of the largest connected fail region
+/// (8-connectivity): normalized area, normalized perimeter, major and
+/// minor axis lengths (PCA of the region's point cloud, normalized by
+/// the wafer diameter), eccentricity, and solidity (area / bounding
+/// box area).
+///
+/// All zeros for a wafer with no failures.
+#[must_use]
+pub fn geometry_features(map: &WaferMap) -> Vec<f32> {
+    let region = largest_fail_region(map);
+    if region.is_empty() {
+        return vec![0.0; 6];
+    }
+    let on_wafer = map.on_wafer_count() as f32;
+    let area = region.len() as f32 / on_wafer;
+
+    // Perimeter: cells of the region with at least one non-region
+    // 4-neighbour.
+    let in_region: std::collections::HashSet<(usize, usize)> = region.iter().copied().collect();
+    let perimeter = region
+        .iter()
+        .filter(|&&(x, y)| {
+            let neighbors = [
+                (x.wrapping_sub(1), y),
+                (x + 1, y),
+                (x, y.wrapping_sub(1)),
+                (x, y + 1),
+            ];
+            neighbors.iter().any(|n| !in_region.contains(n))
+        })
+        .count() as f32
+        / on_wafer.sqrt();
+
+    // PCA of region coordinates.
+    let n = region.len() as f32;
+    let mx = region.iter().map(|p| p.0 as f32).sum::<f32>() / n;
+    let my = region.iter().map(|p| p.1 as f32).sum::<f32>() / n;
+    let (mut sxx, mut syy, mut sxy) = (0.0f32, 0.0f32, 0.0f32);
+    for &(x, y) in &region {
+        let dx = x as f32 - mx;
+        let dy = y as f32 - my;
+        sxx += dx * dx;
+        syy += dy * dy;
+        sxy += dx * dy;
+    }
+    sxx /= n;
+    syy /= n;
+    sxy /= n;
+    let trace = sxx + syy;
+    let det = sxx * syy - sxy * sxy;
+    let disc = ((trace * trace / 4.0) - det).max(0.0).sqrt();
+    let l1 = (trace / 2.0 + disc).max(0.0); // major eigenvalue
+    let l2 = (trace / 2.0 - disc).max(0.0); // minor eigenvalue
+    let diameter = map.width().min(map.height()) as f32;
+    let major = 4.0 * l1.sqrt() / diameter;
+    let minor = 4.0 * l2.sqrt() / diameter;
+    let eccentricity = if l1 > 0.0 { (1.0 - (l2 / l1)).max(0.0).sqrt() } else { 0.0 };
+
+    // Solidity proxy: area over bounding-box area.
+    let min_x = region.iter().map(|p| p.0).min().unwrap_or(0);
+    let max_x = region.iter().map(|p| p.0).max().unwrap_or(0);
+    let min_y = region.iter().map(|p| p.1).min().unwrap_or(0);
+    let max_y = region.iter().map(|p| p.1).max().unwrap_or(0);
+    let bbox = ((max_x - min_x + 1) * (max_y - min_y + 1)) as f32;
+    let solidity = region.len() as f32 / bbox;
+
+    vec![area, perimeter, major, minor, eccentricity, solidity]
+}
+
+/// Coordinates of the largest 8-connected component of failing dies.
+#[must_use]
+pub fn largest_fail_region(map: &WaferMap) -> Vec<(usize, usize)> {
+    let w = map.width();
+    let h = map.height();
+    let mut visited = vec![false; w * h];
+    let mut best: Vec<(usize, usize)> = Vec::new();
+    for sy in 0..h {
+        for sx in 0..w {
+            if visited[sy * w + sx] || !map.get(sx, sy).is_fail() {
+                continue;
+            }
+            // BFS flood fill.
+            let mut component = Vec::new();
+            let mut queue = std::collections::VecDeque::new();
+            visited[sy * w + sx] = true;
+            queue.push_back((sx, sy));
+            while let Some((x, y)) = queue.pop_front() {
+                component.push((x, y));
+                for (nx, ny) in neighbors8(x, y, w, h) {
+                    if !visited[ny * w + nx] && map.get(nx, ny).is_fail() {
+                        visited[ny * w + nx] = true;
+                        queue.push_back((nx, ny));
+                    }
+                }
+            }
+            if component.len() > best.len() {
+                best = component;
+            }
+        }
+    }
+    best
+}
+
+fn neighbors8(x: usize, y: usize, w: usize, h: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::with_capacity(8);
+    for dy in -1i32..=1 {
+        for dx in -1i32..=1 {
+            if dx == 0 && dy == 0 {
+                continue;
+            }
+            let nx = x as i32 + dx;
+            let ny = y as i32 + dy;
+            if nx >= 0 && ny >= 0 && (nx as usize) < w && (ny as usize) < h {
+                out.push((nx as usize, ny as usize));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+    use wafermap::gen::{generate, GenConfig};
+    use wafermap::{DefectClass, Die};
+
+    #[test]
+    fn feature_dim_matches_config() {
+        let cfg = FeatureConfig::default();
+        assert_eq!(cfg.dim(), 59);
+        let map = WaferMap::blank(16, 16);
+        assert_eq!(extract(&map, &cfg).len(), 59);
+    }
+
+    #[test]
+    fn feature_family_ablations_have_expected_dims() {
+        assert_eq!(FeatureConfig::density_only().dim(), 13);
+        assert_eq!(FeatureConfig::radon_only().dim(), 40);
+        assert_eq!(FeatureConfig::geometry_only().dim(), 6);
+        let map = WaferMap::blank(16, 16);
+        assert_eq!(extract(&map, &FeatureConfig::geometry_only()).len(), 6);
+    }
+
+    #[test]
+    fn clean_wafer_features_are_zero() {
+        let map = WaferMap::blank(20, 20);
+        assert!(density_features(&map).iter().all(|&v| v == 0.0));
+        assert!(geometry_features(&map).iter().all(|&v| v == 0.0));
+        let radon = radon_features(&map, 8);
+        assert!(radon.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn density_zones_localize_failures() {
+        let mut map = WaferMap::blank(24, 24);
+        // A failure cluster in the upper-left interior -> zone 0.
+        for x in 7..10 {
+            for y in 7..10 {
+                map.set(x, y, Die::Fail);
+            }
+        }
+        let d = density_features(&map);
+        assert!(d[0] > 0.0, "zone 0 empty: {d:?}");
+        assert_eq!(d[8], 0.0, "opposite interior zone should be clean");
+    }
+
+    #[test]
+    fn edge_zone_catches_edge_failures() {
+        let mut map = WaferMap::blank(24, 24);
+        // Failures on the right edge (positive dx, around dy=0).
+        for (x, y, _) in map.clone().iter_on_wafer() {
+            let dx = x as f32 - 11.5;
+            let dy = y as f32 - 11.5;
+            if dx > 9.0 && dy.abs() < 4.0 {
+                map.set(x, y, Die::Fail);
+            }
+        }
+        let d = density_features(&map);
+        let edge_sum: f32 = d[9..13].iter().sum();
+        assert!(edge_sum > 0.0);
+    }
+
+    #[test]
+    fn radon_distinguishes_line_orientation() {
+        // A horizontal scratch has very different projection variance
+        // at 0° vs 90°.
+        let mut map = WaferMap::blank(24, 24);
+        for x in 6..18 {
+            map.set(x, 12, Die::Fail);
+        }
+        let feats = radon_features(&map, 4); // angles 0°, 45°, 90°, 135°
+        let stds = &feats[4..];
+        // Projecting onto the x-axis (θ=0) spreads the line; onto the
+        // y-axis (θ=90°) concentrates it into one bin -> higher std.
+        assert!(
+            stds[2] > stds[0] * 1.5,
+            "expected θ=90° std >> θ=0° std, got {stds:?}"
+        );
+    }
+
+    #[test]
+    fn geometry_separates_blob_from_scratch() {
+        let cfg = GenConfig::new(24).with_background_fail_rate(0.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let blob = generate(DefectClass::Center, &cfg, &mut rng);
+        let scratch = generate(DefectClass::Scratch, &cfg, &mut rng);
+        let gb = geometry_features(&blob);
+        let gs = geometry_features(&scratch);
+        // Scratches are far more eccentric than centre blobs.
+        assert!(gs[4] > gb[4], "eccentricity: scratch {} vs blob {}", gs[4], gb[4]);
+    }
+
+    #[test]
+    fn largest_region_picks_the_bigger_component() {
+        let mut map = WaferMap::blank(16, 16);
+        map.set(4, 4, Die::Fail); // singleton
+        for x in 8..12 {
+            map.set(x, 8, Die::Fail); // 4-cell line
+        }
+        let region = largest_fail_region(&map);
+        assert_eq!(region.len(), 4);
+    }
+
+    #[test]
+    fn near_full_has_max_area() {
+        let cfg = GenConfig::new(16);
+        let mut rng = StdRng::seed_from_u64(2);
+        let nf = generate(DefectClass::NearFull, &cfg, &mut rng);
+        let g = geometry_features(&nf);
+        assert!(g[0] > 0.5, "near-full area feature too small: {}", g[0]);
+    }
+}

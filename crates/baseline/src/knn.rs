@@ -1,0 +1,153 @@
+//! A k-nearest-neighbour classifier over the same hand-crafted
+//! features — the spatial-signature kNN family the paper cites as
+//! earlier work (Tobin et al. / Karnowski et al., refs. \[6, 7\]).
+//! Included as a second baseline and for feature-family ablations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::features::{extract, FeatureConfig};
+use crate::Standardizer;
+use eval::ConfusionMatrix;
+use wafermap::{Dataset, DefectClass, WaferMap};
+
+/// A trained kNN baseline: standardized training features plus labels.
+///
+/// # Example
+///
+/// ```
+/// use baseline::{FeatureConfig, KnnBaseline};
+/// use wafermap::gen::SyntheticWm811k;
+///
+/// let (train, test) = SyntheticWm811k::new(16).scale(0.001).seed(2).build();
+/// let model = KnnBaseline::fit(&train, &FeatureConfig::default(), 3);
+/// let cm = model.evaluate(&test);
+/// assert_eq!(cm.total() as usize, test.len());
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KnnBaseline {
+    feature_config: FeatureConfig,
+    scaler: Standardizer,
+    features: Vec<Vec<f32>>,
+    labels: Vec<usize>,
+    k: usize,
+}
+
+impl KnnBaseline {
+    /// Memorize the (standardized) training features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or `k` is zero.
+    #[must_use]
+    pub fn fit(dataset: &Dataset, feature_config: &FeatureConfig, k: usize) -> Self {
+        assert!(!dataset.is_empty(), "cannot fit on an empty dataset");
+        assert!(k > 0, "k must be non-zero");
+        let rows: Vec<Vec<f32>> =
+            dataset.iter().map(|s| extract(&s.map, feature_config)).collect();
+        let scaler = Standardizer::fit(&rows);
+        let features = scaler.transform_all(&rows);
+        let labels = dataset.iter().map(|s| s.label.index()).collect();
+        KnnBaseline { feature_config: *feature_config, scaler, features, labels, k }
+    }
+
+    /// Number of memorized neighbours.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the model holds no training data (never true after
+    /// [`KnnBaseline::fit`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Classify one wafer map by majority vote among the `k` nearest
+    /// (Euclidean) training samples; ties break toward the nearest
+    /// neighbour's class.
+    #[must_use]
+    pub fn predict(&self, map: &WaferMap) -> DefectClass {
+        let query = self.scaler.transform(&extract(map, &self.feature_config));
+        // Collect (distance², label) and take the k smallest.
+        let mut dists: Vec<(f32, usize)> = self
+            .features
+            .iter()
+            .zip(&self.labels)
+            .map(|(row, &label)| {
+                let d2: f32 = row.iter().zip(&query).map(|(a, b)| (a - b) * (a - b)).sum();
+                (d2, label)
+            })
+            .collect();
+        let k = self.k.min(dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| {
+            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let neighbours = &mut dists[..k];
+        neighbours
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut votes = [0u32; DefectClass::COUNT];
+        for &(_, label) in neighbours.iter() {
+            votes[label] += 1;
+        }
+        let best = neighbours
+            .iter()
+            .map(|&(_, label)| label)
+            .max_by_key(|&label| (votes[label], std::cmp::Reverse(nearest_rank(neighbours, label))))
+            .expect("k >= 1");
+        DefectClass::from_index(best).expect("valid class index")
+    }
+
+    /// Evaluate on a labeled dataset.
+    #[must_use]
+    pub fn evaluate(&self, dataset: &Dataset) -> ConfusionMatrix {
+        let mut cm = ConfusionMatrix::new(DefectClass::COUNT);
+        for s in dataset {
+            cm.record(s.label.index(), self.predict(&s.map).index());
+        }
+        cm
+    }
+}
+
+/// Rank (position) of the first neighbour with the given label.
+fn nearest_rank(neighbours: &[(f32, usize)], label: usize) -> usize {
+    neighbours.iter().position(|&(_, l)| l == label).unwrap_or(usize::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wafermap::gen::SyntheticWm811k;
+
+    #[test]
+    fn knn_beats_chance_on_synthetic_mixture() {
+        let (train, test) = SyntheticWm811k::new(16).scale(0.003).seed(4).build();
+        let model = KnnBaseline::fit(&train, &FeatureConfig::default(), 5);
+        let cm = model.evaluate(&test);
+        assert!(cm.accuracy() > 0.5, "kNN accuracy {:.3}", cm.accuracy());
+    }
+
+    #[test]
+    fn k_one_memorizes_training_data() {
+        let (train, _) = SyntheticWm811k::new(16).scale(0.001).seed(5).build();
+        let model = KnnBaseline::fit(&train, &FeatureConfig::default(), 1);
+        let cm = model.evaluate(&train);
+        // 1-NN on its own training set is perfect (distance 0 to self).
+        assert!((cm.accuracy() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_clamped() {
+        let (train, test) = SyntheticWm811k::new(16).scale(0.0005).seed(6).build();
+        let model = KnnBaseline::fit(&train, &FeatureConfig::default(), 10_000);
+        let cm = model.evaluate(&test);
+        assert_eq!(cm.total() as usize, test.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be non-zero")]
+    fn zero_k_rejected() {
+        let (train, _) = SyntheticWm811k::new(16).scale(0.0005).seed(7).build();
+        let _ = KnnBaseline::fit(&train, &FeatureConfig::default(), 0);
+    }
+}

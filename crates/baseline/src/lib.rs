@@ -1,0 +1,46 @@
+//! The comparison baseline of the paper ("SVM \[2\]"): Wu, Jang & Chen,
+//! *"Wafer map failure pattern recognition and similarity ranking for
+//! large-scale data sets"* (IEEE TSM 2015) — hand-crafted features fed
+//! to a support vector machine.
+//!
+//! Three feature families are extracted from each wafer map, mirroring
+//! the original 59-dimensional design:
+//!
+//! - **13 density features** ([`features::density_features`]): fail
+//!   density over 13 wafer zones (a 3×3 interior grid plus four edge
+//!   quadrants).
+//! - **40 Radon features** ([`features::radon_features`]): mean and
+//!   standard deviation of the Radon projection at 20 angles.
+//! - **6 geometry features** ([`features::geometry_features`]): area,
+//!   perimeter, major/minor axis, eccentricity and solidity of the
+//!   largest connected fail region.
+//!
+//! Classification uses a one-vs-one committee of kernel SVMs trained
+//! with a simplified SMO solver — no external solver dependency.
+//!
+//! # Example
+//!
+//! ```
+//! use baseline::{FeatureConfig, SvmBaseline, SvmParams};
+//! use wafermap::gen::SyntheticWm811k;
+//!
+//! let (train, test) = SyntheticWm811k::new(16).scale(0.001).seed(5).build();
+//! let model = SvmBaseline::train(&train, &FeatureConfig::default(), &SvmParams::default(), 9);
+//! let cm = model.evaluate(&test);
+//! assert_eq!(cm.total() as usize, test.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod features;
+mod knn;
+mod multiclass;
+mod scaler;
+mod svm;
+
+pub use features::FeatureConfig;
+pub use knn::KnnBaseline;
+pub use multiclass::SvmBaseline;
+pub use scaler::Standardizer;
+pub use svm::{Kernel, Svm, SvmParams};

@@ -1,0 +1,118 @@
+use serde::{Deserialize, Serialize};
+
+/// Per-feature z-score standardization fit on a training matrix.
+///
+/// SVM margins are scale-sensitive, so features are standardized to
+/// zero mean and unit variance before training; constant features get
+/// unit scale (they become zeros).
+///
+/// # Example
+///
+/// ```
+/// use baseline::Standardizer;
+///
+/// let rows = vec![vec![0.0, 10.0], vec![2.0, 10.0], vec![4.0, 10.0]];
+/// let scaler = Standardizer::fit(&rows);
+/// let t = scaler.transform(&rows[0]);
+/// assert!((t[0] + 1.2247449).abs() < 1e-5);
+/// assert_eq!(t[1], 0.0); // constant feature
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Standardizer {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl Standardizer {
+    /// Fit means and stds on a set of feature rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or rows have inconsistent lengths.
+    #[must_use]
+    pub fn fit(rows: &[Vec<f32>]) -> Self {
+        assert!(!rows.is_empty(), "cannot fit a standardizer on no rows");
+        let dim = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == dim), "inconsistent feature dimensions");
+        let n = rows.len() as f32;
+        let mut mean = vec![0.0f32; dim];
+        for row in rows {
+            for (m, &v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        mean.iter_mut().for_each(|m| *m /= n);
+        let mut std = vec![0.0f32; dim];
+        for row in rows {
+            for ((s, &v), &m) in std.iter_mut().zip(row).zip(&mean) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in std.iter_mut() {
+            *s = (*s / n).sqrt();
+            if *s < 1e-8 {
+                *s = 1.0;
+            }
+        }
+        Standardizer { mean, std }
+    }
+
+    /// Feature dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Standardize one feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the fitted dimension.
+    #[must_use]
+    pub fn transform(&self, row: &[f32]) -> Vec<f32> {
+        assert_eq!(row.len(), self.dim(), "feature dimension mismatch");
+        row.iter()
+            .zip(&self.mean)
+            .zip(&self.std)
+            .map(|((&v, &m), &s)| (v - m) / s)
+            .collect()
+    }
+
+    /// Standardize many rows.
+    #[must_use]
+    pub fn transform_all(&self, rows: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        rows.iter().map(|r| self.transform(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transformed_data_has_zero_mean_unit_variance() {
+        let rows: Vec<Vec<f32>> =
+            (0..100).map(|i| vec![i as f32, (i * i) as f32 / 100.0]).collect();
+        let scaler = Standardizer::fit(&rows);
+        let t = scaler.transform_all(&rows);
+        for d in 0..2 {
+            let mean = t.iter().map(|r| r[d]).sum::<f32>() / 100.0;
+            let var = t.iter().map(|r| (r[d] - mean).powi(2)).sum::<f32>() / 100.0;
+            assert!(mean.abs() < 1e-4, "dim {d} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "dim {d} var {var}");
+        }
+    }
+
+    #[test]
+    fn constant_features_map_to_zero() {
+        let rows = vec![vec![5.0], vec![5.0], vec![5.0]];
+        let scaler = Standardizer::fit(&rows);
+        assert_eq!(scaler.transform(&[5.0]), vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no rows")]
+    fn empty_fit_rejected() {
+        let _ = Standardizer::fit(&[]);
+    }
+}

@@ -1,0 +1,36 @@
+//! Feature-extraction micro-benchmarks for the SVM baseline pipeline
+//! (Radon, density and geometry features).
+
+use baseline::features::{
+    density_features, extract, geometry_features, radon_features, FeatureConfig,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use wafermap::gen::{generate, GenConfig};
+use wafermap::DefectClass;
+
+fn bench_features(c: &mut Criterion) {
+    let cfg = GenConfig::new(32);
+    let mut rng = StdRng::seed_from_u64(0);
+    let map = generate(DefectClass::EdgeLoc, &cfg, &mut rng);
+    let feature_cfg = FeatureConfig::default();
+    let mut group = c.benchmark_group("features");
+    group.bench_function("density_13zone", |b| {
+        b.iter(|| black_box(density_features(black_box(&map))))
+    });
+    group.bench_function("radon_20angles", |b| {
+        b.iter(|| black_box(radon_features(black_box(&map), 20)))
+    });
+    group.bench_function("geometry_largest_region", |b| {
+        b.iter(|| black_box(geometry_features(black_box(&map))))
+    });
+    group.bench_function("extract_59dim", |b| {
+        b.iter(|| black_box(extract(black_box(&map), &feature_cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_features);
+criterion_main!(benches);

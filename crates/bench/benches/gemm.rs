@@ -1,0 +1,48 @@
+//! GEMM micro-benchmarks — the kernel underneath every conv and
+//! linear layer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn rand_vec(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+        .collect()
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    for &n in &[32usize, 64, 128, 256] {
+        let a = rand_vec(n * n, 1);
+        let b = rand_vec(n * n, 2);
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("sgemm_square", n), &n, |bench, &n| {
+            let mut out = vec![0.0f32; n * n];
+            bench.iter(|| {
+                out.iter_mut().for_each(|v| *v = 0.0);
+                nn::gemm::sgemm(n, n, n, black_box(&a), black_box(&b), &mut out);
+            });
+        });
+    }
+    // The conv2 shape from Table I on a 32x32 wafer:
+    // [32, 576] x [576, 256].
+    let (m, k, n) = (32usize, 576usize, 256usize);
+    let a = rand_vec(m * k, 3);
+    let b = rand_vec(k * n, 4);
+    group.throughput(Throughput::Elements((2 * m * k * n) as u64));
+    group.bench_function("sgemm_conv2_shape", |bench| {
+        let mut out = vec![0.0f32; m * n];
+        bench.iter(|| {
+            out.iter_mut().for_each(|v| *v = 0.0);
+            nn::gemm::sgemm(m, k, n, black_box(&a), black_box(&b), &mut out);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

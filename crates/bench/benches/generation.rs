@@ -1,0 +1,32 @@
+//! Synthetic wafer generation benchmarks: per-class pattern painting
+//! and full dataset assembly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use wafermap::gen::{generate, GenConfig, SyntheticWm811k};
+use wafermap::DefectClass;
+
+fn bench_generation(c: &mut Criterion) {
+    let cfg = GenConfig::new(32);
+    let mut group = c.benchmark_group("generation");
+    for class in DefectClass::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("single_wafer", class.name()),
+            &class,
+            |b, &class| {
+                let mut rng = StdRng::seed_from_u64(0);
+                b.iter(|| black_box(generate(class, &cfg, &mut rng)))
+            },
+        );
+    }
+    group.sample_size(10);
+    group.bench_function("dataset_0p2pct_of_wm811k", |b| {
+        b.iter(|| black_box(SyntheticWm811k::new(32).scale(0.002).seed(1).build()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Layer forward/backward micro-benchmarks for the Table I CNN stages
+//! (experiment E2: model throughput).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nn::layers::{Conv2d, MaxPool2d};
+use nn::{Layer, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selective::{SelectiveConfig, SelectiveModel};
+use std::hint::black_box;
+
+fn bench_layers(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut group = c.benchmark_group("layers");
+
+    // Conv1 of Table I: 1 -> 64 channels, 5x5, on a 32x32 wafer.
+    let mut conv1 = Conv2d::same(1, 64, 5, &mut rng);
+    let x1 = Tensor::randn(&[8, 1, 32, 32], 1.0, &mut rng);
+    group.bench_function("conv1_forward_b8", |b| {
+        b.iter(|| black_box(conv1.forward(black_box(&x1))))
+    });
+    let y1 = conv1.forward(&x1);
+    group.bench_function("conv1_backward_b8", |b| {
+        b.iter(|| black_box(conv1.backward(black_box(&y1))))
+    });
+
+    // Conv2: 64 -> 32 channels, 3x3, on the pooled 16x16 map.
+    let mut conv2 = Conv2d::same(64, 32, 3, &mut rng);
+    let x2 = Tensor::randn(&[8, 64, 16, 16], 1.0, &mut rng);
+    group.bench_function("conv2_forward_b8", |b| {
+        b.iter(|| black_box(conv2.forward(black_box(&x2))))
+    });
+
+    let mut pool = MaxPool2d::new(2);
+    group.bench_function("maxpool_forward_b8", |b| {
+        b.iter(|| black_box(pool.forward(black_box(&x2))))
+    });
+
+    // Whole Table I model inference.
+    let mut model = SelectiveModel::new(&SelectiveConfig::for_grid(32), 0);
+    let batch = Tensor::randn(&[8, 1, 32, 32], 1.0, &mut rng);
+    group.bench_function("selective_model_forward_b8", |b| {
+        b.iter(|| black_box(model.forward(black_box(&batch))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_layers);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Section IV-A / IV-D reproduction: concept-shift detection via
+//! coverage collapse.
+//!
+//! The paper found that a selective model trained for ~50% coverage
+//! kept ~99% selective accuracy on in-distribution data at 45–57%
+//! coverage, but its coverage collapsed to ~5% on WM-811K's
+//! distribution-shifted "Test" split — flagging the shift. Here the
+//! shifted splits are generated with controllable severity (weakened
+//! patterns, heavier background noise, mixed double patterns).
+
+use eval::RiskCoveragePoint;
+use serde::Serialize;
+use wafermap::shift::{shifted_dataset, ShiftConfig};
+use wm_bench::pipeline::{prepare, train_selective};
+use wm_bench::{save_json, ExperimentArgs};
+
+#[derive(Serialize)]
+struct ShiftRow {
+    split: String,
+    coverage: f64,
+    selective_accuracy: f64,
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    eprintln!("concept_shift: scale {} grid {} epochs {}", args.scale, args.grid, args.epochs);
+    let data = prepare(&args);
+    eprintln!("training selective model at c0 = 0.5 ...");
+    let (mut model, _) = train_selective(&args, &data.train, 0.5);
+    // Calibrate the selection threshold to the 50% target on the
+    // training scores (SelectiveNet protocol), so in-distribution
+    // coverage sits at the target and any collapse is attributable to
+    // the shift.
+    let tau = {
+        let scores = model.selection_scores(&data.train);
+        selective::calibrate_threshold(&scores, 0.5)
+    };
+    eprintln!("calibrated threshold τ = {tau:.3}");
+
+    let per_class = (data.test.len() / 9).max(5);
+    let splits: Vec<(String, wafermap::Dataset)> = vec![
+        ("in-distribution test".to_owned(), data.test.clone()),
+        (
+            "moderate shift".to_owned(),
+            shifted_dataset(args.grid, per_class, &ShiftConfig::moderate(), args.seed ^ 1),
+        ),
+        (
+            "severe shift".to_owned(),
+            shifted_dataset(args.grid, per_class, &ShiftConfig::severe(), args.seed ^ 2),
+        ),
+    ];
+
+    println!("\nConcept-shift detection — coverage collapse under distribution shift\n");
+    println!("{:>22} {:>10} {:>20}", "split", "coverage", "selective accuracy");
+    let mut rows = Vec::new();
+    let mut points = Vec::new();
+    for (name, split) in &splits {
+        let metrics = model.evaluate(split, tau);
+        println!(
+            "{:>22} {:>9.1}% {:>19.1}%",
+            name,
+            metrics.coverage() * 100.0,
+            metrics.selective_accuracy() * 100.0
+        );
+        rows.push(ShiftRow {
+            split: name.clone(),
+            coverage: metrics.coverage(),
+            selective_accuracy: metrics.selective_accuracy(),
+        });
+        points.push(RiskCoveragePoint::from_metrics(0.5, &metrics));
+    }
+    println!(
+        "\nexpected shape (paper): in-distribution coverage ≈ 45–57%, shifted coverage\n\
+         collapses (paper observed ~5%) while selected-sample accuracy stays high —\n\
+         a large coverage drop below the c0 target flags that the model needs retraining."
+    );
+    save_json(&args.out_dir, "concept_shift", &rows);
+}

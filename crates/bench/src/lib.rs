@@ -1,0 +1,177 @@
+//! Shared plumbing for the experiment harnesses that regenerate every
+//! table and figure of the paper.
+//!
+//! Each binary in `src/bin/` reproduces one artifact:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig1` | Fig. 1 — sample wafer map per defect class |
+//! | `fig4` | Fig. 4 — original vs. synthetic augmentation samples |
+//! | `fig5` | Fig. 5 — accuracy & coverage vs. target coverage `c0` |
+//! | `table2` | Table II — selective learning at `c0 ∈ {0.2, 0.5, 0.75}` |
+//! | `table3` | Table III — full-coverage CNN vs. SVM confusion matrices |
+//! | `table4` | Table IV — new-defect detection (Near-Full left out) |
+//! | `concept_shift_exp` | Sec. IV-A — coverage collapse under distribution shift |
+//!
+//! All binaries accept `--scale <f64>` (fraction of the paper's
+//! WM-811K sample counts), `--grid <usize>` (wafer die grid, multiple
+//! of 8), `--epochs <usize>`, and `--seed <u64>`; run with
+//! `--help` for the defaults. Results are printed as text tables and
+//! also dumped as JSON under `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pipeline;
+
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+/// Common command-line options for experiment binaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentArgs {
+    /// Fraction of the paper's per-class sample counts to generate.
+    pub scale: f64,
+    /// Wafer die-grid side (multiple of 8).
+    pub grid: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// RNG seed for dataset generation and model init.
+    pub seed: u64,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Coverage-penalty weight λ (paper: 0.5; SelectiveNet: 32).
+    pub lambda: f32,
+    /// Output directory for PGM/JSON artifacts.
+    pub out_dir: PathBuf,
+}
+
+impl Default for ExperimentArgs {
+    fn default() -> Self {
+        // Defaults sized for a single-core CPU budget: 2% of the
+        // WM-811K mixture at native-ish die resolution. Scale up with
+        // `--scale 0.05 --grid 32 --epochs 40` when you have cores to
+        // spare.
+        ExperimentArgs {
+            scale: 0.02,
+            grid: 16,
+            epochs: 30,
+            seed: 2020,
+            learning_rate: 3e-3,
+            batch_size: 32,
+            lambda: 0.5,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl ExperimentArgs {
+    /// Parse from `std::env::args`, starting from defaults. Prints
+    /// usage and exits on `--help` or a malformed flag.
+    #[must_use]
+    pub fn parse() -> Self {
+        let mut args = ExperimentArgs::default();
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let flag = argv[i].as_str();
+            if flag == "--help" || flag == "-h" {
+                eprintln!(
+                    "usage: <experiment> [--scale F] [--grid N] [--epochs N] \
+                     [--seed N] [--lr F] [--batch N] [--out DIR]\n\
+                     defaults: {:?}",
+                    ExperimentArgs::default()
+                );
+                std::process::exit(0);
+            }
+            let value = argv.get(i + 1).unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                std::process::exit(2);
+            });
+            match flag {
+                "--scale" => args.scale = parse_or_exit(flag, value),
+                "--grid" => args.grid = parse_or_exit(flag, value),
+                "--epochs" => args.epochs = parse_or_exit(flag, value),
+                "--seed" => args.seed = parse_or_exit(flag, value),
+                "--lr" => args.learning_rate = parse_or_exit(flag, value),
+                "--batch" => args.batch_size = parse_or_exit(flag, value),
+                "--lambda" => args.lambda = parse_or_exit(flag, value),
+                "--out" => args.out_dir = PathBuf::from(value),
+                _ => {
+                    eprintln!("unknown flag {flag}");
+                    std::process::exit(2);
+                }
+            }
+            i += 2;
+        }
+        args
+    }
+
+    /// The per-class augmentation target `T`, scaled from the paper's
+    /// `T = 8000` by the same dataset scale.
+    #[must_use]
+    pub fn augment_target(&self) -> usize {
+        ((8000.0 * self.scale).round() as usize).max(4)
+    }
+}
+
+fn parse_or_exit<T: std::str::FromStr>(flag: &str, value: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value {value:?} for {flag}");
+        std::process::exit(2);
+    })
+}
+
+/// Write a serializable result to `<out_dir>/<name>.json`, creating
+/// the directory if needed. Errors are reported to stderr but never
+/// abort an experiment (the console table is the primary output).
+pub fn save_json<T: Serialize>(out_dir: &Path, name: &str, value: &T) {
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("warning: cannot create {}: {e}", out_dir.display());
+        return;
+    }
+    let path = out_dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                eprintln!("wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+/// Format a fraction as the paper prints it (two decimals, `-` when
+/// undefined because the class was never selected/predicted).
+#[must_use]
+pub fn fmt_score(value: f64, defined: bool) -> String {
+    if defined {
+        format!("{value:.2}")
+    } else {
+        "-".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn augment_target_scales_from_8000() {
+        let args = ExperimentArgs { scale: 0.02, ..ExperimentArgs::default() };
+        assert_eq!(args.augment_target(), 160);
+        let tiny = ExperimentArgs { scale: 0.0001, ..ExperimentArgs::default() };
+        assert_eq!(tiny.augment_target(), 4);
+    }
+
+    #[test]
+    fn fmt_score_prints_dash_when_undefined() {
+        assert_eq!(fmt_score(0.5, true), "0.50");
+        assert_eq!(fmt_score(0.0, false), "-");
+    }
+}

@@ -1,0 +1,60 @@
+//! The end-to-end experiment pipeline shared by the table/figure
+//! harnesses: synthesize the WM-811K-style mixture, balance it with
+//! Algorithm 1, and train a selective model at a given target
+//! coverage.
+
+use augment::{AugmentConfig, Augmenter};
+use selective::{SelectiveConfig, SelectiveModel, TrainConfig, TrainReport, Trainer};
+use wafermap::gen::SyntheticWm811k;
+use wafermap::Dataset;
+
+use crate::ExperimentArgs;
+
+/// Generated (and optionally augmented) experiment data.
+#[derive(Debug, Clone)]
+pub struct PreparedData {
+    /// Training set after Algorithm 1 balancing.
+    pub train: Dataset,
+    /// Training set before augmentation (originals only).
+    pub train_raw: Dataset,
+    /// Held-out test set (originals only — the paper never tests on
+    /// synthetic samples).
+    pub test: Dataset,
+}
+
+/// Generate the scaled Table II mixture and balance the defect
+/// classes to `args.augment_target()` synthetic-inclusive samples.
+#[must_use]
+pub fn prepare(args: &ExperimentArgs) -> PreparedData {
+    let (train_raw, test) =
+        SyntheticWm811k::new(args.grid).scale(args.scale).seed(args.seed).build();
+    let augmenter = Augmenter::new(
+        AugmentConfig::new(args.augment_target()).with_channels([8, 8, 8]).with_ae_epochs(8),
+        args.seed ^ 0xA06,
+    );
+    let train = augmenter.balance(&train_raw);
+    PreparedData { train, train_raw, test }
+}
+
+/// Train a selective model on `train` at target coverage `c0`
+/// (`c0 = 1.0` trains the plain cross-entropy model).
+#[must_use]
+pub fn train_selective(
+    args: &ExperimentArgs,
+    train: &Dataset,
+    c0: f32,
+) -> (SelectiveModel, TrainReport) {
+    let config = SelectiveConfig::for_grid(args.grid);
+    let mut model = SelectiveModel::new(&config, args.seed ^ 0x5EED);
+    let trainer = Trainer::new(TrainConfig {
+        epochs: args.epochs,
+        batch_size: args.batch_size,
+        learning_rate: args.learning_rate,
+        target_coverage: c0,
+        lambda: args.lambda,
+        alpha: 0.5,
+        seed: args.seed ^ 0x7124,
+    });
+    let report = trainer.run(&mut model, train);
+    (model, report)
+}

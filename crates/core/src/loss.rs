@@ -1,0 +1,330 @@
+//! The selective training objective — the paper's eqs. (6)–(9).
+
+use nn::loss::{cross_entropy_grad_rows, cross_entropy_per_sample, softmax};
+use nn::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the selective objective.
+///
+/// The paper fixes `λ = α = 0.5` and varies `c0` over
+/// `{0.2, 0.5, 0.75, 1}`; `c0 = 1` degenerates to plain cross-entropy
+/// (handled by the trainer, not this struct).
+///
+/// # Example
+///
+/// ```
+/// use selective::SelectiveLoss;
+///
+/// let loss = SelectiveLoss::new(0.5);
+/// assert_eq!(loss.target_coverage(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SelectiveLoss {
+    c0: f32,
+    lambda: f32,
+    alpha: f32,
+}
+
+/// The decomposed value of the selective objective for one batch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SelectiveLossValue {
+    /// Total objective `α·(risk + λ·penalty) + (1−α)·plain`.
+    pub total: f32,
+    /// g-weighted selective risk `r(f,g|D)` (eq. (7)).
+    pub selective_risk: f32,
+    /// Empirical coverage `c(g|D)` (eq. (6)).
+    pub coverage: f32,
+    /// Quadratic coverage-shortfall penalty `Ψ(c0 − c)` (eq. (8)).
+    pub penalty: f32,
+    /// Plain weighted cross-entropy `r(f|D)` (the `(1−α)` term).
+    pub plain_risk: f32,
+}
+
+impl SelectiveLoss {
+    /// Selective loss with target coverage `c0` and the paper's
+    /// `λ = α = 0.5`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c0` is outside `(0, 1]`.
+    #[must_use]
+    pub fn new(c0: f32) -> Self {
+        assert!(c0 > 0.0 && c0 <= 1.0, "target coverage must be in (0, 1]");
+        SelectiveLoss { c0, lambda: 0.5, alpha: 0.5 }
+    }
+
+    /// Override `λ` (coverage-constraint weight in eq. (8)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is negative.
+    #[must_use]
+    pub fn with_lambda(mut self, lambda: f32) -> Self {
+        assert!(lambda >= 0.0, "lambda must be non-negative");
+        self.lambda = lambda;
+        self
+    }
+
+    /// Override `α` (selective-vs-plain mixing weight in eq. (9)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `[0, 1]`.
+    #[must_use]
+    pub fn with_alpha(mut self, alpha: f32) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+        self.alpha = alpha;
+        self
+    }
+
+    /// Target coverage `c0`.
+    #[must_use]
+    pub fn target_coverage(&self) -> f32 {
+        self.c0
+    }
+
+    /// Evaluate the objective and its gradients for one batch.
+    ///
+    /// * `logits` — `[N, n_classes]` prediction-head outputs.
+    /// * `g` — `[N]` post-sigmoid selection scores.
+    /// * `labels` — `[N]` class indices.
+    /// * `weights` — `[N]` per-sample loss weights (1.0 for original
+    ///   samples, the paper's `w < 1` for synthetic ones).
+    ///
+    /// Returns the decomposed loss, the gradient w.r.t. the logits and
+    /// the gradient w.r.t. the selection scores.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches or an empty batch.
+    #[must_use]
+    pub fn compute(
+        &self,
+        logits: &Tensor,
+        g: &[f32],
+        labels: &[usize],
+        weights: &[f32],
+    ) -> (SelectiveLossValue, Tensor, Vec<f32>) {
+        let n = logits.shape()[0];
+        let c = logits.shape()[1];
+        assert!(n > 0, "empty batch");
+        assert_eq!(g.len(), n, "g length mismatch");
+        assert_eq!(labels.len(), n, "labels length mismatch");
+        assert_eq!(weights.len(), n, "weights length mismatch");
+
+        let probs = softmax(logits);
+        let ce = cross_entropy_per_sample(&probs, labels);
+
+        // Eq. (6): empirical coverage (unweighted mean of g).
+        let g_sum: f32 = g.iter().sum();
+        let coverage = g_sum / n as f32;
+
+        // Eq. (7): selective risk. The numerator carries the sample
+        // weights (the paper's synthetic-sample down-weighting applies
+        // to every loss term involving l(f(x), y)); the denominator is
+        // the coverage mass exactly as in eq. (7).
+        let g_sum_safe = g_sum.max(1e-8);
+        let weighted_ce_g: f32 =
+            ce.iter().zip(g).zip(weights).map(|((&l, &gi), &wi)| wi * l * gi).sum();
+        let selective_risk = weighted_ce_g / g_sum_safe;
+
+        // Eq. (8): Ψ(z) = max(0, z)² on the coverage shortfall.
+        let shortfall = (self.c0 - coverage).max(0.0);
+        let penalty = shortfall * shortfall;
+
+        // The (1−α) plain risk: weighted mean CE over the whole batch.
+        let w_sum: f32 = weights.iter().sum::<f32>().max(1e-8);
+        let plain_risk = ce.iter().zip(weights).map(|(&l, &wi)| wi * l).sum::<f32>() / w_sum;
+
+        let total = self.alpha * (selective_risk + self.lambda * penalty)
+            + (1.0 - self.alpha) * plain_risk;
+
+        // Gradient w.r.t. logits: per-sample coefficient times
+        // (p − onehot). d selective_risk/d ce_i = w_i·g_i / Σg;
+        // d plain/d ce_i = w_i / Σw.
+        let mut grad_logits = cross_entropy_grad_rows(&probs, labels);
+        for (i, row) in grad_logits.data_mut().chunks_exact_mut(c).enumerate() {
+            let coef = self.alpha * weights[i] * g[i] / g_sum_safe
+                + (1.0 - self.alpha) * weights[i] / w_sum;
+            row.iter_mut().for_each(|v| *v *= coef);
+        }
+
+        // Gradient w.r.t. g_i:
+        //   d r/d g_i     = (w_i·ce_i − r) / Σg          (quotient rule)
+        //   d Ψ/d g_i     = −2·max(0, c0 − c) / N
+        let dpen_dg = -2.0 * shortfall / n as f32;
+        let grad_g: Vec<f32> = ce
+            .iter()
+            .zip(weights)
+            .map(|(&l, &wi)| {
+                self.alpha * ((wi * l - selective_risk) / g_sum_safe + self.lambda * dpen_dg)
+            })
+            .collect();
+
+        (
+            SelectiveLossValue { total, selective_risk, coverage, penalty, plain_risk },
+            grad_logits,
+            grad_g,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    fn batch(n: usize, c: usize, seed: u64) -> (Tensor, Vec<f32>, Vec<usize>, Vec<f32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let logits = Tensor::randn(&[n, c], 1.0, &mut rng);
+        let g: Vec<f32> = (0..n).map(|i| 0.2 + 0.6 * (i as f32 / n as f32)).collect();
+        let labels: Vec<usize> = (0..n).map(|i| i % c).collect();
+        let weights = vec![1.0f32; n];
+        (logits, g, labels, weights)
+    }
+
+    /// Reference implementation of the scalar objective for gradient
+    /// checking.
+    fn scalar_loss(
+        loss: &SelectiveLoss,
+        logits: &Tensor,
+        g: &[f32],
+        labels: &[usize],
+        weights: &[f32],
+    ) -> f32 {
+        loss.compute(logits, g, labels, weights).0.total
+    }
+
+    #[test]
+    fn coverage_matches_mean_g() {
+        let (logits, g, labels, weights) = batch(8, 4, 0);
+        let loss = SelectiveLoss::new(0.7);
+        let (value, _, _) = loss.compute(&logits, &g, &labels, &weights);
+        let expect = g.iter().sum::<f32>() / 8.0;
+        assert!((value.coverage - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn penalty_is_zero_when_coverage_met() {
+        let (logits, _, labels, weights) = batch(8, 4, 1);
+        let g = vec![0.95f32; 8];
+        let loss = SelectiveLoss::new(0.5);
+        let (value, _, _) = loss.compute(&logits, &g, &labels, &weights);
+        assert_eq!(value.penalty, 0.0);
+    }
+
+    #[test]
+    fn penalty_grows_quadratically_below_target() {
+        let (logits, _, labels, weights) = batch(8, 4, 2);
+        let loss = SelectiveLoss::new(0.8);
+        let (v1, _, _) = loss.compute(&logits, &[0.6f32; 8], &labels, &weights);
+        let (v2, _, _) = loss.compute(&logits, &[0.4f32; 8], &labels, &weights);
+        assert!((v1.penalty - 0.04).abs() < 1e-5);
+        assert!((v2.penalty - 0.16).abs() < 1e-5);
+    }
+
+    #[test]
+    fn alpha_one_removes_plain_term_influence() {
+        let (logits, g, labels, weights) = batch(6, 3, 3);
+        let loss = SelectiveLoss::new(0.5).with_alpha(1.0);
+        let (value, _, _) = loss.compute(&logits, &g, &labels, &weights);
+        assert!(
+            (value.total - (value.selective_risk + 0.5 * value.penalty)).abs() < 1e-6,
+            "alpha=1 total should be purely selective"
+        );
+    }
+
+    #[test]
+    fn logits_gradient_matches_finite_differences() {
+        let (logits, g, labels, weights) = batch(4, 3, 4);
+        let loss = SelectiveLoss::new(0.6);
+        let (_, grad_logits, _) = loss.compute(&logits, &g, &labels, &weights);
+        let eps = 1e-3f32;
+        for idx in 0..logits.numel() {
+            let mut lp = logits.clone();
+            lp.data_mut()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[idx] -= eps;
+            let numeric = (scalar_loss(&loss, &lp, &g, &labels, &weights)
+                - scalar_loss(&loss, &lm, &g, &labels, &weights))
+                / (2.0 * eps);
+            let analytic = grad_logits.data()[idx];
+            assert!(
+                (numeric - analytic).abs() < 1e-3,
+                "logits grad mismatch at {idx}: {numeric} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn g_gradient_matches_finite_differences() {
+        let (logits, g, labels, weights) = batch(5, 3, 5);
+        // Target above current coverage so the penalty branch is active.
+        let loss = SelectiveLoss::new(0.9);
+        let (_, _, grad_g) = loss.compute(&logits, &g, &labels, &weights);
+        let eps = 1e-3f32;
+        for idx in 0..g.len() {
+            let mut gp = g.clone();
+            gp[idx] += eps;
+            let mut gm = g.clone();
+            gm[idx] -= eps;
+            let numeric = (scalar_loss(&loss, &logits, &gp, &labels, &weights)
+                - scalar_loss(&loss, &logits, &gm, &labels, &weights))
+                / (2.0 * eps);
+            let analytic = grad_g[idx];
+            assert!(
+                (numeric - analytic).abs() < 1e-3,
+                "g grad mismatch at {idx}: {numeric} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn g_gradient_matches_without_active_penalty() {
+        let (logits, g, labels, weights) = batch(5, 3, 6);
+        let loss = SelectiveLoss::new(0.1); // coverage already above target
+        let (value, _, grad_g) = loss.compute(&logits, &g, &labels, &weights);
+        assert_eq!(value.penalty, 0.0);
+        let eps = 1e-3f32;
+        for idx in 0..g.len() {
+            let mut gp = g.clone();
+            gp[idx] += eps;
+            let mut gm = g.clone();
+            gm[idx] -= eps;
+            let numeric = (scalar_loss(&loss, &logits, &gp, &labels, &weights)
+                - scalar_loss(&loss, &logits, &gm, &labels, &weights))
+                / (2.0 * eps);
+            assert!((numeric - grad_g[idx]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn synthetic_weights_reduce_their_loss_share() {
+        let (logits, g, labels, _) = batch(4, 3, 7);
+        let loss = SelectiveLoss::new(0.5);
+        let (all_one, _, _) = loss.compute(&logits, &g, &labels, &[1.0; 4]);
+        let (down, _, _) = loss.compute(&logits, &g, &labels, &[1.0, 0.1, 1.0, 0.1]);
+        // Different weighting must change the objective.
+        assert!((all_one.total - down.total).abs() > 1e-6);
+    }
+
+    #[test]
+    fn rejecting_hard_samples_lowers_selective_risk() {
+        // Two samples: one classified perfectly, one terribly.
+        let logits = Tensor::from_vec(vec![10.0, 0.0, 0.0, 10.0], &[2, 2]);
+        let labels = [0usize, 0];
+        let weights = [1.0f32, 1.0];
+        let loss = SelectiveLoss::new(0.5);
+        let (keep_both, _, _) = loss.compute(&logits, &[1.0, 1.0], &labels, &weights);
+        let (reject_bad, _, _) = loss.compute(&logits, &[1.0, 0.01], &labels, &weights);
+        assert!(reject_bad.selective_risk < keep_both.selective_risk);
+    }
+
+    #[test]
+    #[should_panic(expected = "target coverage")]
+    fn zero_target_coverage_rejected() {
+        let _ = SelectiveLoss::new(0.0);
+    }
+}

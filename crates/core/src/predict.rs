@@ -1,0 +1,93 @@
+use serde::{Deserialize, Serialize};
+
+/// Outcome of the selective classifier on one wafer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SelectivePrediction {
+    /// Predicted class index (argmax of the prediction head) — only
+    /// meaningful when [`SelectivePrediction::selected`] is true.
+    pub label: usize,
+    /// Softmax probability of the predicted class.
+    pub confidence: f32,
+    /// Selection-head score `g(x)` in `(0, 1)`.
+    pub selection_score: f32,
+    /// Whether `g(x)` cleared the threshold (the model commits).
+    pub selected: bool,
+}
+
+/// Pick a selection threshold τ that achieves (approximately) a target
+/// empirical coverage on a calibration set of `g` scores.
+///
+/// SelectiveNet calibrates the inference threshold the same way: sort
+/// the validation scores and cut at the `(1 − coverage)` quantile so a
+/// fraction `coverage` of samples clears it. Returns 0.5 for an empty
+/// slice; clamps `coverage` into `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use selective::calibrate_threshold;
+///
+/// let scores = [0.1, 0.2, 0.6, 0.8, 0.9];
+/// let tau = calibrate_threshold(&scores, 0.4);
+/// let kept = scores.iter().filter(|&&s| s >= tau).count();
+/// assert_eq!(kept, 2);
+/// ```
+#[must_use]
+pub fn calibrate_threshold(scores: &[f32], coverage: f64) -> f32 {
+    if scores.is_empty() {
+        return 0.5;
+    }
+    let coverage = coverage.clamp(0.0, 1.0);
+    let mut sorted: Vec<f32> = scores.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let keep = ((scores.len() as f64) * coverage).round() as usize;
+    if keep == 0 {
+        // Threshold above the maximum.
+        return sorted[sorted.len() - 1] + f32::EPSILON.max(sorted[sorted.len() - 1].abs() * 1e-6);
+    }
+    if keep >= sorted.len() {
+        return sorted[0];
+    }
+    // Keep the `keep` largest scores: threshold at element len-keep.
+    sorted[sorted.len() - keep]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_coverage_keeps_everything() {
+        let scores = [0.3, 0.1, 0.9];
+        let tau = calibrate_threshold(&scores, 1.0);
+        assert!(scores.iter().all(|&s| s >= tau));
+    }
+
+    #[test]
+    fn zero_coverage_rejects_everything() {
+        let scores = [0.3, 0.1, 0.9];
+        let tau = calibrate_threshold(&scores, 0.0);
+        assert!(scores.iter().all(|&s| s < tau));
+    }
+
+    #[test]
+    fn half_coverage_keeps_half() {
+        let scores: Vec<f32> = (0..10).map(|i| i as f32 / 10.0).collect();
+        let tau = calibrate_threshold(&scores, 0.5);
+        let kept = scores.iter().filter(|&&s| s >= tau).count();
+        assert_eq!(kept, 5);
+    }
+
+    #[test]
+    fn empty_scores_default() {
+        assert_eq!(calibrate_threshold(&[], 0.5), 0.5);
+    }
+
+    #[test]
+    fn out_of_range_coverage_is_clamped() {
+        let scores = [0.2, 0.4];
+        assert!(scores.iter().all(|&s| s >= calibrate_threshold(&scores, 5.0)));
+        let tau = calibrate_threshold(&scores, -1.0);
+        assert!(scores.iter().all(|&s| s < tau));
+    }
+}

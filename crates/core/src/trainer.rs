@@ -1,0 +1,320 @@
+use nn::loss::{accuracy, softmax_cross_entropy};
+use nn::optim::Adam;
+use nn::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::{SelectiveLoss, SelectiveModel};
+use wafermap::Dataset;
+
+/// Training hyper-parameters.
+///
+/// The paper trains for 100 epochs with Adam and `λ = α = 0.5`;
+/// `target_coverage = 1.0` switches to plain cross-entropy (exactly
+/// what the paper does for its full-coverage model: "for the case when
+/// `c0 = 1`, we train the model with cross-entropy loss function
+/// only").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Target coverage `c0`; `1.0` trains with plain cross-entropy.
+    pub target_coverage: f32,
+    /// Coverage-penalty weight `λ` (eq. (8)).
+    pub lambda: f32,
+    /// Selective-vs-plain mixing weight `α` (eq. (9)).
+    pub alpha: f32,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 10,
+            batch_size: 32,
+            learning_rate: 1e-3,
+            target_coverage: 1.0,
+            lambda: 0.5,
+            alpha: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-epoch training statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Zero-based epoch index.
+    pub epoch: usize,
+    /// Mean training objective over the epoch.
+    pub loss: f32,
+    /// Mean empirical coverage `c(g)` over the epoch (1.0 when
+    /// training with plain cross-entropy).
+    pub coverage: f32,
+    /// Training accuracy (argmax of `f`, ignoring selection).
+    pub accuracy: f32,
+}
+
+/// Summary of a training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Statistics for each epoch, in order.
+    pub epochs: Vec<EpochStats>,
+}
+
+impl TrainReport {
+    /// Final-epoch stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report is empty (zero epochs trained).
+    #[must_use]
+    pub fn last(&self) -> EpochStats {
+        *self.epochs.last().expect("trained at least one epoch")
+    }
+}
+
+/// Mini-batch trainer for [`SelectiveModel`].
+///
+/// See the crate-level docs for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainConfig,
+}
+
+impl Trainer {
+    /// Trainer with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if epochs or batch size is zero, or `target_coverage`
+    /// is outside `(0, 1]`.
+    #[must_use]
+    pub fn new(config: TrainConfig) -> Self {
+        assert!(config.epochs > 0, "epochs must be non-zero");
+        assert!(config.batch_size > 0, "batch size must be non-zero");
+        assert!(
+            config.target_coverage > 0.0 && config.target_coverage <= 1.0,
+            "target coverage must be in (0, 1]"
+        );
+        Trainer { config }
+    }
+
+    /// The training configuration.
+    #[must_use]
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Train `model` on `dataset`, returning per-epoch statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or its grid does not match the
+    /// model's configuration.
+    pub fn run(&self, model: &mut SelectiveModel, dataset: &Dataset) -> TrainReport {
+        assert!(!dataset.is_empty(), "cannot train on an empty dataset");
+        assert_eq!(dataset.grid(), model.config().grid, "dataset grid mismatch");
+        let grid = dataset.grid();
+        let pixels = grid * grid;
+        let plain = self.config.target_coverage >= 1.0;
+        let selective = SelectiveLoss::new(self.config.target_coverage)
+            .with_lambda(self.config.lambda)
+            .with_alpha(self.config.alpha);
+        let mut adam = Adam::new(self.config.learning_rate);
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut order: Vec<usize> = (0..dataset.len()).collect();
+        let samples = dataset.samples();
+        let mut epochs = Vec::with_capacity(self.config.epochs);
+
+        for epoch in 0..self.config.epochs {
+            order.shuffle(&mut rng);
+            let mut loss_sum = 0.0f64;
+            let mut cov_sum = 0.0f64;
+            let mut acc_sum = 0.0f64;
+            let mut seen = 0usize;
+            for batch in order.chunks(self.config.batch_size) {
+                let mut data = Vec::with_capacity(batch.len() * pixels);
+                let mut labels = Vec::with_capacity(batch.len());
+                let mut weights = Vec::with_capacity(batch.len());
+                for &i in batch {
+                    data.extend(samples[i].map.to_image());
+                    labels.push(samples[i].label.index());
+                    weights.push(samples[i].weight);
+                }
+                let images = Tensor::from_vec(data, &[batch.len(), 1, grid, grid]);
+                let (logits, g, aux) = model.forward_full(&images);
+                let (loss, coverage) = if plain {
+                    let (l, grad) = softmax_cross_entropy(&logits, &labels, Some(&weights));
+                    model.zero_grad();
+                    model.backward(&grad, &vec![0.0f32; batch.len()]);
+                    (l, 1.0)
+                } else if let Some(aux_logits) = &aux {
+                    // SelectiveNet-style: pure selective objective on
+                    // (f, g), plain cross-entropy on the auxiliary
+                    // head, mixed by α.
+                    let alpha = self.config.alpha;
+                    let pure = SelectiveLoss::new(self.config.target_coverage)
+                        .with_lambda(self.config.lambda)
+                        .with_alpha(1.0);
+                    let (value, mut grad_logits, mut grad_g) =
+                        pure.compute(&logits, &g, &labels, &weights);
+                    grad_logits.scale(alpha);
+                    grad_g.iter_mut().for_each(|v| *v *= alpha);
+                    let (ce, mut grad_aux) =
+                        softmax_cross_entropy(aux_logits, &labels, Some(&weights));
+                    grad_aux.scale(1.0 - alpha);
+                    model.zero_grad();
+                    model.backward_full(&grad_logits, &grad_g, Some(&grad_aux));
+                    (alpha * value.total + (1.0 - alpha) * ce, value.coverage)
+                } else {
+                    let (value, grad_logits, grad_g) =
+                        selective.compute(&logits, &g, &labels, &weights);
+                    model.zero_grad();
+                    model.backward(&grad_logits, &grad_g);
+                    (value.total, value.coverage)
+                };
+                model.step(&mut adam);
+
+                let b = batch.len() as f64;
+                loss_sum += f64::from(loss) * b;
+                cov_sum += f64::from(coverage) * b;
+                acc_sum += f64::from(accuracy(&logits, &labels)) * b;
+                seen += batch.len();
+            }
+            let n = seen as f64;
+            epochs.push(EpochStats {
+                epoch,
+                loss: (loss_sum / n) as f32,
+                coverage: (cov_sum / n) as f32,
+                accuracy: (acc_sum / n) as f32,
+            });
+        }
+        TrainReport { epochs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SelectiveConfig;
+    use wafermap::gen::SyntheticWm811k;
+    use wafermap::DefectClass;
+
+    fn tiny_model(seed: u64) -> SelectiveModel {
+        let config = SelectiveConfig::for_grid(16).with_conv_channels([4, 4, 4]).with_fc(16);
+        SelectiveModel::new(&config, seed)
+    }
+
+    /// A small but separable two-class dataset: Near-Full (almost all
+    /// fail) vs None (almost no failures).
+    fn easy_dataset(per_class: usize, seed: u64) -> Dataset {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use wafermap::gen::{generate, GenConfig, Sample};
+        let cfg = GenConfig::new(16);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ds = Dataset::new(16);
+        for _ in 0..per_class {
+            ds.push(Sample::original(generate(DefectClass::NearFull, &cfg, &mut rng), DefectClass::NearFull));
+            ds.push(Sample::original(generate(DefectClass::None, &cfg, &mut rng), DefectClass::None));
+        }
+        ds
+    }
+
+    #[test]
+    fn plain_training_reduces_loss_and_learns_easy_pair() {
+        let mut model = tiny_model(0);
+        let train = easy_dataset(24, 1);
+        let report = Trainer::new(TrainConfig {
+            epochs: 30,
+            batch_size: 16,
+            learning_rate: 1e-2,
+            ..TrainConfig::default()
+        })
+        .run(&mut model, &train);
+        let first = report.epochs[0].loss;
+        let last = report.last().loss;
+        assert!(last < first, "loss did not decrease: {first} -> {last}");
+        assert!(report.last().accuracy > 0.9, "easy pair not learned: {}", report.last().accuracy);
+        // Plain CE reports full coverage.
+        assert_eq!(report.last().coverage, 1.0);
+    }
+
+    #[test]
+    fn selective_training_tracks_coverage() {
+        let mut model = tiny_model(2);
+        let train = easy_dataset(24, 3);
+        let report = Trainer::new(TrainConfig {
+            epochs: 20,
+            batch_size: 16,
+            learning_rate: 5e-3,
+            target_coverage: 0.5,
+            ..TrainConfig::default()
+        })
+        .run(&mut model, &train);
+        let cov = report.last().coverage;
+        // Coverage must neither collapse to 0 nor be forced to 1; the
+        // penalty pulls it toward/above c0.
+        assert!(cov > 0.2 && cov <= 1.0, "coverage {cov} out of expected band");
+        assert!(report.last().loss.is_finite());
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seeds() {
+        let train = easy_dataset(8, 4);
+        let cfg = TrainConfig { epochs: 2, batch_size: 8, ..TrainConfig::default() };
+        let mut a = tiny_model(5);
+        let ra = Trainer::new(cfg).run(&mut a, &train);
+        let mut b = tiny_model(5);
+        let rb = Trainer::new(cfg).run(&mut b, &train);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn evaluate_after_training_covers_whole_test_set() {
+        let mut model = tiny_model(6);
+        let (train, test) = SyntheticWm811k::new(16).scale(0.0005).seed(7).build();
+        let _ = Trainer::new(TrainConfig { epochs: 1, batch_size: 16, ..TrainConfig::default() })
+            .run(&mut model, &train);
+        let metrics = model.evaluate(&test, 0.5);
+        assert_eq!(metrics.total() as usize, test.len());
+    }
+
+    #[test]
+    fn aux_head_training_converges_on_easy_pair() {
+        let config = SelectiveConfig::for_grid(16)
+            .with_conv_channels([4, 4, 4])
+            .with_fc(16)
+            .with_aux_head();
+        let mut model = SelectiveModel::new(&config, 9);
+        let train = easy_dataset(24, 10);
+        let report = Trainer::new(TrainConfig {
+            epochs: 20,
+            batch_size: 16,
+            learning_rate: 5e-3,
+            target_coverage: 0.5,
+            ..TrainConfig::default()
+        })
+        .run(&mut model, &train);
+        assert!(report.last().loss.is_finite());
+        assert!(
+            report.last().loss < report.epochs[0].loss,
+            "aux-head training did not reduce loss"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_rejected() {
+        let mut model = tiny_model(8);
+        let _ = Trainer::new(TrainConfig::default()).run(&mut model, &Dataset::new(16));
+    }
+}

@@ -1,0 +1,247 @@
+//! Single-precision matrix-multiply kernels.
+//!
+//! Everything compute-heavy in this crate (convolution via im2col,
+//! linear layers and their backward passes) funnels into the three
+//! kernels here. The loop order is `i-k-j` so the innermost loop
+//! streams through contiguous rows of `B` and `C`, which autovectorizes
+//! well. Work is split across threads by output-row blocks once the
+//! FLOP count justifies the spawn cost.
+//!
+//! All kernels **accumulate** (`C += ...`); callers zero `C` when they
+//! want a plain product.
+
+use std::num::NonZeroUsize;
+
+/// FLOP threshold (m·k·n) above which the kernels fan out to threads.
+const PARALLEL_THRESHOLD: usize = 1 << 18;
+
+/// `C[m,n] += A[m,k] * B[k,n]`, all row-major.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its `m`/`k`/`n` shape implies.
+pub fn sgemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert!(a.len() >= m * k, "A too short: {} < {}", a.len(), m * k);
+    assert!(b.len() >= k * n, "B too short: {} < {}", b.len(), k * n);
+    assert!(c.len() >= m * n, "C too short: {} < {}", c.len(), m * n);
+    parallel_rows(m, k, n, c, |i0, c_block| {
+        for (di, c_row) in c_block.chunks_exact_mut(n).enumerate() {
+            let i = i0 + di;
+            let a_row = &a[i * k..(i + 1) * k];
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row) {
+                    *c_ij += a_ip * b_pj;
+                }
+            }
+        }
+    });
+}
+
+/// `C[m,n] += A[m,k] * B[n,k]^T` (i.e. `C[i,j] += Σ_p A[i,p]·B[j,p]`).
+///
+/// Used for gradients w.r.t. inputs of linear layers
+/// (`dX = dY · W` with `W` stored `[out,in]`) would be plain [`sgemm`];
+/// this transposed form computes `dY · Wᵀ`-style products where the
+/// second operand's rows are the contraction axis.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its shape implies.
+pub fn sgemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert!(a.len() >= m * k, "A too short: {} < {}", a.len(), m * k);
+    assert!(b.len() >= n * k, "B too short: {} < {}", b.len(), n * k);
+    assert!(c.len() >= m * n, "C too short: {} < {}", c.len(), m * n);
+    parallel_rows(m, k, n, c, |i0, c_block| {
+        for (di, c_row) in c_block.chunks_exact_mut(n).enumerate() {
+            let i = i0 + di;
+            let a_row = &a[i * k..(i + 1) * k];
+            for (j, c_ij) in c_row.iter_mut().enumerate() {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (x, y) in a_row.iter().zip(b_row) {
+                    acc += x * y;
+                }
+                *c_ij += acc;
+            }
+        }
+    });
+}
+
+/// `C[m,n] += A[k,m]^T * B[k,n]` (i.e. `C[i,j] += Σ_p A[p,i]·B[p,j]`).
+///
+/// This is the weight-gradient form: `dW = dYᵀ · X` with batch as the
+/// contraction axis.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its shape implies.
+pub fn sgemm_tn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert!(a.len() >= k * m, "A too short: {} < {}", a.len(), k * m);
+    assert!(b.len() >= k * n, "B too short: {} < {}", b.len(), k * n);
+    assert!(c.len() >= m * n, "C too short: {} < {}", c.len(), m * n);
+    parallel_rows(m, k, n, c, |i0, c_block| {
+        for (di, c_row) in c_block.chunks_exact_mut(n).enumerate() {
+            let i = i0 + di;
+            for p in 0..k {
+                let a_pi = a[p * m + i];
+                if a_pi == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row) {
+                    *c_ij += a_pi * b_pj;
+                }
+            }
+        }
+    });
+}
+
+/// Number of worker threads to use for a problem of `flops` size.
+fn thread_count(flops: usize) -> usize {
+    if flops < PARALLEL_THRESHOLD {
+        return 1;
+    }
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1).min(16)
+}
+
+/// Split the `m` output rows of `c` into contiguous blocks and run
+/// `body(first_row, block)` on each, across threads when worthwhile.
+fn parallel_rows<F>(m: usize, k: usize, n: usize, c: &mut [f32], body: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    let threads = thread_count(m * k * n).min(m.max(1));
+    if threads <= 1 {
+        body(0, &mut c[..m * n]);
+        return;
+    }
+    let rows_per = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut rest = &mut c[..m * n];
+        let mut row = 0usize;
+        while row < m {
+            let take = rows_per.min(m - row);
+            let (block, tail) = rest.split_at_mut(take * n);
+            let first = row;
+            let body = &body;
+            scope.spawn(move || body(first, block));
+            rest = tail;
+            row += take;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    c[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn rand_vec(len: usize, seed: u64) -> Vec<f32> {
+        // Small deterministic LCG; avoids pulling rand into this module.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sgemm_matches_naive() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 4, 5), (7, 7, 7), (16, 32, 8)] {
+            let a = rand_vec(m * k, 1);
+            let b = rand_vec(k * n, 2);
+            let mut c = vec![0.0; m * n];
+            sgemm(m, k, n, &a, &b, &mut c);
+            let expect = naive(m, k, n, &a, &b);
+            for (x, y) in c.iter().zip(&expect) {
+                assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn sgemm_accumulates() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![2.0, 3.0, 4.0, 5.0];
+        let mut c = vec![10.0; 4];
+        sgemm(2, 2, 2, &a, &b, &mut c);
+        assert_eq!(c, vec![12.0, 13.0, 14.0, 15.0]);
+    }
+
+    #[test]
+    fn sgemm_nt_matches_naive() {
+        let (m, k, n) = (5, 6, 4);
+        let a = rand_vec(m * k, 3);
+        let bt = rand_vec(n * k, 4); // B stored [n,k]
+        // Build B [k,n] explicitly for the naive reference.
+        let mut b = vec![0.0; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                b[p * n + j] = bt[j * k + p];
+            }
+        }
+        let mut c = vec![0.0; m * n];
+        sgemm_nt(m, k, n, &a, &bt, &mut c);
+        let expect = naive(m, k, n, &a, &b);
+        for (x, y) in c.iter().zip(&expect) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn sgemm_tn_matches_naive() {
+        let (m, k, n) = (4, 7, 3);
+        let at = rand_vec(k * m, 5); // A stored [k,m]
+        let b = rand_vec(k * n, 6);
+        let mut a = vec![0.0; m * k];
+        for p in 0..k {
+            for i in 0..m {
+                a[i * k + p] = at[p * m + i];
+            }
+        }
+        let mut c = vec![0.0; m * n];
+        sgemm_tn(m, k, n, &at, &b, &mut c);
+        let expect = naive(m, k, n, &a, &b);
+        for (x, y) in c.iter().zip(&expect) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn large_parallel_gemm_matches_naive() {
+        // Big enough to cross PARALLEL_THRESHOLD (m*k*n = 2^21).
+        let (m, k, n) = (128, 128, 128);
+        let a = rand_vec(m * k, 7);
+        let b = rand_vec(k * n, 8);
+        let mut c = vec![0.0; m * n];
+        sgemm(m, k, n, &a, &b, &mut c);
+        let expect = naive(m, k, n, &a, &b);
+        for (x, y) in c.iter().zip(&expect) {
+            assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "A too short")]
+    fn sgemm_validates_input_sizes() {
+        let mut c = vec![0.0; 4];
+        sgemm(2, 2, 2, &[0.0; 3], &[0.0; 4], &mut c);
+    }
+}

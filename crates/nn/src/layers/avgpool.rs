@@ -1,0 +1,131 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Layer, Tensor};
+
+/// Average pooling with square window and stride equal to the window
+/// size. Complements [`crate::layers::MaxPool2d`]; useful for
+/// ablations of the pooling choice in the Table I architecture.
+///
+/// # Example
+///
+/// ```
+/// use nn::{layers::AvgPool2d, Layer, Tensor};
+///
+/// let mut pool = AvgPool2d::new(2);
+/// let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+/// assert_eq!(pool.forward(&x).data(), &[2.5]);
+/// ```
+#[derive(Debug, Serialize, Deserialize)]
+pub struct AvgPool2d {
+    window: usize,
+    #[serde(skip)]
+    input_shape: Option<[usize; 4]>,
+}
+
+impl AvgPool2d {
+    /// New average-pooling layer with `window x window` cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "pooling window must be non-zero");
+        AvgPool2d { window, input_shape: None }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let s = input.shape();
+        assert_eq!(s.len(), 4, "AvgPool2d expects [N, C, H, W]");
+        let [n, c, h, w] = [s[0], s[1], s[2], s[3]];
+        let k = self.window;
+        let (oh, ow) = (h / k, w / k);
+        assert!(oh > 0 && ow > 0, "input {h}x{w} smaller than pooling window");
+        let norm = 1.0 / (k * k) as f32;
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let src = input.data();
+        let dst = out.data_mut();
+        for nc in 0..n * c {
+            let plane = &src[nc * h * w..(nc + 1) * h * w];
+            let out_plane = &mut dst[nc * oh * ow..(nc + 1) * oh * ow];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for dy in 0..k {
+                        for dx in 0..k {
+                            acc += plane[(oy * k + dy) * w + ox * k + dx];
+                        }
+                    }
+                    out_plane[oy * ow + ox] = acc * norm;
+                }
+            }
+        }
+        self.input_shape = Some([n, c, h, w]);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let [n, c, h, w] = self.input_shape.expect("backward before forward");
+        let k = self.window;
+        let (oh, ow) = (h / k, w / k);
+        assert_eq!(grad_output.shape(), &[n, c, oh, ow], "bad grad shape for AvgPool2d");
+        let norm = 1.0 / (k * k) as f32;
+        let mut grad_input = Tensor::zeros(&[n, c, h, w]);
+        let go = grad_output.data();
+        let gi = grad_input.data_mut();
+        for nc in 0..n * c {
+            let go_plane = &go[nc * oh * ow..(nc + 1) * oh * ow];
+            let gi_plane = &mut gi[nc * h * w..(nc + 1) * h * w];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = go_plane[oy * ow + ox] * norm;
+                    for dy in 0..k {
+                        for dx in 0..k {
+                            gi_plane[(oy * k + dy) * w + ox * k + dx] += g;
+                        }
+                    }
+                }
+            }
+        }
+        grad_input
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_each_window() {
+        let mut pool = AvgPool2d::new(2);
+        #[rustfmt::skip]
+        let x = Tensor::from_vec(vec![
+            0.0, 4.0,  1.0, 1.0,
+            0.0, 0.0,  1.0, 1.0,
+            8.0, 0.0,  2.0, 2.0,
+            0.0, 0.0,  2.0, 2.0,
+        ], &[1, 1, 4, 4]);
+        assert_eq!(pool.forward(&x).data(), &[1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_spreads_gradient_uniformly() {
+        let mut pool = AvgPool2d::new(2);
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        let _ = pool.forward(&x);
+        let gi = pool.backward(&Tensor::from_vec(vec![4.0], &[1, 1, 1, 1]));
+        assert_eq!(gi.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn sum_is_preserved_through_backward() {
+        let mut pool = AvgPool2d::new(3);
+        let x = Tensor::zeros(&[1, 2, 6, 6]);
+        let _ = pool.forward(&x);
+        let grad = Tensor::full(&[1, 2, 2, 2], 9.0);
+        let gi = pool.backward(&grad);
+        assert!((gi.sum() - grad.sum()).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,265 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Layer, Param, Tensor};
+
+/// Batch normalization over the channel axis of `[N, C, H, W]`
+/// tensors (per-channel statistics across batch and spatial dims),
+/// with learnable scale `γ` and shift `β` and running statistics for
+/// eval mode.
+///
+/// # Example
+///
+/// ```
+/// use nn::{layers::BatchNorm2d, Layer, Tensor};
+///
+/// let mut bn = BatchNorm2d::new(3);
+/// let y = bn.forward(&Tensor::full(&[2, 3, 4, 4], 5.0));
+/// assert_eq!(y.shape(), &[2, 3, 4, 4]);
+/// // A constant input normalizes to β = 0.
+/// assert!(y.data().iter().all(|v| v.abs() < 1e-3));
+/// ```
+#[derive(Debug, Serialize, Deserialize)]
+pub struct BatchNorm2d {
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    training: bool,
+    #[serde(skip)]
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug)]
+struct BnCache {
+    shape: [usize; 4],
+    x_hat: Vec<f32>,
+    inv_std: Vec<f32>,
+}
+
+impl BatchNorm2d {
+    /// New batch norm for `channels` feature maps (`γ = 1`, `β = 0`,
+    /// `eps = 1e-5`, running-stat momentum 0.1), in training mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    #[must_use]
+    pub fn new(channels: usize) -> Self {
+        assert!(channels > 0, "channels must be non-zero");
+        BatchNorm2d {
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+            gamma: Param::new(Tensor::full(&[channels], 1.0)),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            training: true,
+            cache: None,
+        }
+    }
+
+    /// Switch between batch statistics (training) and running
+    /// statistics (eval).
+    pub fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    /// Whether the layer uses batch statistics.
+    #[must_use]
+    pub fn is_training(&self) -> bool {
+        self.training
+    }
+}
+
+impl Layer for BatchNorm2d {
+    #[allow(clippy::needless_range_loop)] // ch indexes four parallel per-channel arrays
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let s = input.shape();
+        assert_eq!(s.len(), 4, "BatchNorm2d expects [N, C, H, W]");
+        let [n, c, h, w] = [s[0], s[1], s[2], s[3]];
+        assert_eq!(c, self.channels, "BatchNorm2d expects {} channels", self.channels);
+        let plane = h * w;
+        let count = (n * plane) as f32;
+        let mut out = Tensor::zeros(s);
+        let mut x_hat = vec![0.0f32; input.numel()];
+        let mut inv_stds = vec![0.0f32; c];
+        for ch in 0..c {
+            let (mean, var) = if self.training {
+                let mut mean = 0.0f32;
+                for i in 0..n {
+                    let base = (i * c + ch) * plane;
+                    mean += input.data()[base..base + plane].iter().sum::<f32>();
+                }
+                mean /= count;
+                let mut var = 0.0f32;
+                for i in 0..n {
+                    let base = (i * c + ch) * plane;
+                    var += input.data()[base..base + plane]
+                        .iter()
+                        .map(|&v| (v - mean) * (v - mean))
+                        .sum::<f32>();
+                }
+                var /= count;
+                self.running_mean[ch] =
+                    (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean;
+                self.running_var[ch] =
+                    (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var;
+                (mean, var)
+            } else {
+                (self.running_mean[ch], self.running_var[ch])
+            };
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            inv_stds[ch] = inv_std;
+            let g = self.gamma.value.data()[ch];
+            let b = self.beta.value.data()[ch];
+            for i in 0..n {
+                let base = (i * c + ch) * plane;
+                for j in 0..plane {
+                    let xh = (input.data()[base + j] - mean) * inv_std;
+                    x_hat[base + j] = xh;
+                    out.data_mut()[base + j] = g * xh + b;
+                }
+            }
+        }
+        self.cache = Some(BnCache { shape: [n, c, h, w], x_hat, inv_std: inv_stds });
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("backward before forward");
+        let [n, c, h, w] = cache.shape;
+        assert_eq!(grad_output.shape(), &[n, c, h, w], "bad grad shape for BatchNorm2d");
+        let plane = h * w;
+        let count = (n * plane) as f32;
+        let mut grad_input = Tensor::zeros(&[n, c, h, w]);
+        let go = grad_output.data();
+        for ch in 0..c {
+            // Accumulate dγ, dβ and the two batch-coupling sums.
+            let mut dgamma = 0.0f32;
+            let mut dbeta = 0.0f32;
+            for i in 0..n {
+                let base = (i * c + ch) * plane;
+                for j in 0..plane {
+                    dgamma += go[base + j] * cache.x_hat[base + j];
+                    dbeta += go[base + j];
+                }
+            }
+            self.gamma.grad.data_mut()[ch] += dgamma;
+            self.beta.grad.data_mut()[ch] += dbeta;
+
+            if !self.training {
+                // Eval mode: statistics are constants.
+                let scale = self.gamma.value.data()[ch] * cache.inv_std[ch];
+                for i in 0..n {
+                    let base = (i * c + ch) * plane;
+                    for j in 0..plane {
+                        grad_input.data_mut()[base + j] = go[base + j] * scale;
+                    }
+                }
+                continue;
+            }
+            // Training mode: the full batch-norm backward.
+            let g = self.gamma.value.data()[ch];
+            let inv_std = cache.inv_std[ch];
+            for i in 0..n {
+                let base = (i * c + ch) * plane;
+                for j in 0..plane {
+                    let term = count * go[base + j]
+                        - dbeta
+                        - cache.x_hat[base + j] * dgamma;
+                    grad_input.data_mut()[base + j] = g * inv_std / count * term;
+                }
+            }
+        }
+        grad_input
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.gamma);
+        visitor(&mut self.beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+    use crate::loss::mse;
+
+    #[test]
+    fn normalizes_batch_statistics() {
+        let mut bn = BatchNorm2d::new(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = Tensor::randn(&[4, 2, 5, 5], 3.0, &mut rng).map(|v| v + 7.0);
+        let y = bn.forward(&x);
+        // Per-channel output stats: mean ~0, var ~1.
+        let plane = 25;
+        for ch in 0..2 {
+            let mut values = Vec::new();
+            for i in 0..4 {
+                let base = (i * 2 + ch) * plane;
+                values.extend_from_slice(&y.data()[base..base + plane]);
+            }
+            let mean = values.iter().sum::<f32>() / values.len() as f32;
+            let var =
+                values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / values.len() as f32;
+            assert!(mean.abs() < 1e-4, "channel {ch} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {ch} var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_mode_uses_running_statistics() {
+        let mut bn = BatchNorm2d::new(1);
+        let mut rng = StdRng::seed_from_u64(1);
+        // Warm up running stats on data centred at 10.
+        for _ in 0..50 {
+            let x = Tensor::randn(&[8, 1, 4, 4], 1.0, &mut rng).map(|v| v + 10.0);
+            let _ = bn.forward(&x);
+        }
+        bn.set_training(false);
+        let x = Tensor::full(&[1, 1, 4, 4], 10.0);
+        let y = bn.forward(&x);
+        // 10 is the running mean, so output should be ≈ 0.
+        assert!(y.max_abs() < 0.3, "eval normalization off: {}", y.max_abs());
+    }
+
+    #[test]
+    fn gradient_check_training_mode() {
+        let mut bn = BatchNorm2d::new(2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = Tensor::randn(&[2, 2, 3, 3], 1.0, &mut rng);
+        let target = Tensor::randn(&[2, 2, 3, 3], 1.0, &mut rng);
+        let y = bn.forward(&x);
+        let (_, grad) = mse(&y, &target);
+        bn.zero_grad();
+        let gi = bn.backward(&grad);
+        let eps = 1e-2f32;
+        for idx in [0usize, 7, 20, 35] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let (lp, _) = mse(&bn.forward(&xp), &target);
+            let (lm, _) = mse(&bn.forward(&xm), &target);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - gi.data()[idx]).abs() < 2e-2,
+                "bn grad mismatch at {idx}: {numeric} vs {}",
+                gi.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn params_are_gamma_beta() {
+        let mut bn = BatchNorm2d::new(5);
+        assert_eq!(bn.param_count(), 10);
+    }
+}

@@ -1,0 +1,303 @@
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{init, Layer, Param, Tensor};
+
+/// Transposed ("de-") convolution.
+///
+/// Output spatial size is `(in − 1)·stride + kernel`. The forward pass
+/// scatters each input element's contribution through the kernel into
+/// the output window — exactly the adjoint of a strided convolution —
+/// and the backward pass is the corresponding gather.
+///
+/// The paper's auto-encoder decoder uses "deconvolution and
+/// upsampling" mirroring the encoder; this layer provides the
+/// deconvolution half.
+///
+/// # Example
+///
+/// ```
+/// use nn::{layers::ConvTranspose2d, Layer, Tensor};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut deconv = ConvTranspose2d::new(4, 2, 2, 2, &mut rng);
+/// let y = deconv.forward(&Tensor::zeros(&[1, 4, 8, 8]));
+/// assert_eq!(y.shape(), &[1, 2, 16, 16]);
+/// ```
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ConvTranspose2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    /// Weight stored `[C_in, C_out, k, k]` flattened row-major.
+    weight: Param,
+    bias: Param,
+    #[serde(skip)]
+    cache: Option<DeconvCache>,
+}
+
+#[derive(Debug)]
+struct DeconvCache {
+    input: Tensor,
+    out_hw: (usize, usize),
+}
+
+impl ConvTranspose2d {
+    /// New transposed convolution with He-initialized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(
+            in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0,
+            "deconv dims must be non-zero"
+        );
+        let fan_in = in_channels * kernel * kernel;
+        let weight =
+            Param::new(init::he(&[in_channels, out_channels, kernel, kernel], fan_in, rng));
+        let bias = Param::new(Tensor::zeros(&[out_channels]));
+        ConvTranspose2d { in_channels, out_channels, kernel, stride, weight, bias, cache: None }
+    }
+
+    /// Output spatial size for an `h x w` input.
+    #[must_use]
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        ((h - 1) * self.stride + self.kernel, (w - 1) * self.stride + self.kernel)
+    }
+
+    fn w_at(&self, ci: usize, co: usize, ky: usize, kx: usize) -> f32 {
+        let k = self.kernel;
+        self.weight.value.data()[((ci * self.out_channels + co) * k + ky) * k + kx]
+    }
+}
+
+impl Layer for ConvTranspose2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 4, "ConvTranspose2d expects [N, C, H, W]");
+        let [n, c, h, w] = [shape[0], shape[1], shape[2], shape[3]];
+        assert_eq!(c, self.in_channels, "expects {} input channels", self.in_channels);
+        let (oh, ow) = self.output_hw(h, w);
+        let mut out = Tensor::zeros(&[n, self.out_channels, oh, ow]);
+        let k = self.kernel;
+        let s = self.stride;
+        let src = input.data();
+        let dst = out.data_mut();
+        for i in 0..n {
+            for co in 0..self.out_channels {
+                let dst_plane =
+                    &mut dst[(i * self.out_channels + co) * oh * ow..][..oh * ow];
+                let b = self.bias.value.data()[co];
+                dst_plane.iter_mut().for_each(|v| *v = b);
+                for ci in 0..self.in_channels {
+                    let src_plane = &src[(i * self.in_channels + ci) * h * w..][..h * w];
+                    for iy in 0..h {
+                        for ix in 0..w {
+                            let v = src_plane[iy * w + ix];
+                            if v == 0.0 {
+                                continue;
+                            }
+                            for ky in 0..k {
+                                let oy = iy * s + ky;
+                                for kx in 0..k {
+                                    let ox = ix * s + kx;
+                                    dst_plane[oy * ow + ox] += v * self.w_at(ci, co, ky, kx);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.cache = Some(DeconvCache { input: input.clone(), out_hw: (oh, ow) });
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("backward before forward");
+        let input = &cache.input;
+        let shape = input.shape();
+        let [n, c, h, w] = [shape[0], shape[1], shape[2], shape[3]];
+        let (oh, ow) = cache.out_hw;
+        assert_eq!(
+            grad_output.shape(),
+            &[n, self.out_channels, oh, ow],
+            "bad grad shape for ConvTranspose2d"
+        );
+        let k = self.kernel;
+        let s = self.stride;
+        let mut grad_input = Tensor::zeros(&[n, c, h, w]);
+        let go = grad_output.data();
+        let src = input.data();
+
+        // Bias gradient: sum of output gradients per channel.
+        for i in 0..n {
+            for co in 0..self.out_channels {
+                let plane = &go[(i * self.out_channels + co) * oh * ow..][..oh * ow];
+                self.bias.grad.data_mut()[co] += plane.iter().sum::<f32>();
+            }
+        }
+
+        // Input and weight gradients (gather form of the scatter).
+        let gi = grad_input.data_mut();
+        let mut wgrad = vec![0.0f32; self.weight.grad.numel()];
+        for i in 0..n {
+            for ci in 0..self.in_channels {
+                let src_plane = &src[(i * self.in_channels + ci) * h * w..][..h * w];
+                let gi_plane = &mut gi[(i * self.in_channels + ci) * h * w..][..h * w];
+                for co in 0..self.out_channels {
+                    let go_plane = &go[(i * self.out_channels + co) * oh * ow..][..oh * ow];
+                    for iy in 0..h {
+                        for ix in 0..w {
+                            let x_v = src_plane[iy * w + ix];
+                            let mut acc = 0.0f32;
+                            for ky in 0..k {
+                                let oy = iy * s + ky;
+                                for kx in 0..k {
+                                    let ox = ix * s + kx;
+                                    let g = go_plane[oy * ow + ox];
+                                    acc += g * self.w_at(ci, co, ky, kx);
+                                    wgrad[((ci * self.out_channels + co) * k + ky) * k + kx] +=
+                                        g * x_v;
+                                }
+                            }
+                            gi_plane[iy * w + ix] += acc;
+                        }
+                    }
+                }
+            }
+        }
+        for (g, add) in self.weight.grad.data_mut().iter_mut().zip(&wgrad) {
+            *g += add;
+        }
+        grad_input
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.weight);
+        visitor(&mut self.bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+    use crate::loss::mse;
+
+    #[test]
+    fn output_size_formula() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let deconv = ConvTranspose2d::new(1, 1, 3, 2, &mut rng);
+        assert_eq!(deconv.output_hw(4, 4), (9, 9));
+        let deconv2 = ConvTranspose2d::new(1, 1, 2, 2, &mut rng);
+        assert_eq!(deconv2.output_hw(4, 4), (8, 8));
+    }
+
+    #[test]
+    fn unit_kernel_scatter_known_answer() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut deconv = ConvTranspose2d::new(1, 1, 2, 2, &mut rng);
+        // Kernel of all ones, bias zero -> each input pixel paints a
+        // 2x2 block of its value.
+        deconv.visit_params(&mut |p| p.value.fill(0.0));
+        let mut i = 0;
+        deconv.visit_params(&mut |p| {
+            if i == 0 {
+                p.value.fill(1.0);
+            }
+            i += 1;
+        });
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let y = deconv.forward(&x);
+        #[rustfmt::skip]
+        let expect = vec![
+            1.0, 1.0, 2.0, 2.0,
+            1.0, 1.0, 2.0, 2.0,
+            3.0, 3.0, 4.0, 4.0,
+            3.0, 3.0, 4.0, 4.0,
+        ];
+        assert_eq!(y.data(), expect.as_slice());
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut deconv = ConvTranspose2d::new(2, 2, 2, 2, &mut rng);
+        let x = Tensor::randn(&[1, 2, 3, 3], 1.0, &mut rng);
+        let y = deconv.forward(&x);
+        let target = Tensor::randn(y.shape(), 1.0, &mut rng);
+        let (_, grad) = mse(&y, &target);
+        deconv.zero_grad();
+        let grad_input = deconv.backward(&grad);
+
+        let eps = 1e-2f32;
+        for idx in [0usize, 5, 11, 17] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let (lp, _) = mse(&deconv.forward(&xp), &target);
+            let (lm, _) = mse(&deconv.forward(&xm), &target);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = grad_input.data()[idx];
+            assert!(
+                (numeric - analytic).abs() < 2e-2,
+                "input grad mismatch at {idx}: {numeric} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn weight_gradient_check() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut deconv = ConvTranspose2d::new(1, 1, 2, 2, &mut rng);
+        let x = Tensor::randn(&[1, 1, 3, 3], 1.0, &mut rng);
+        let y = deconv.forward(&x);
+        let target = Tensor::randn(y.shape(), 1.0, &mut rng);
+        let (_, grad) = mse(&y, &target);
+        deconv.zero_grad();
+        let _ = deconv.backward(&grad);
+
+        let analytic = {
+            let mut val = 0.0;
+            let mut i = 0;
+            deconv.visit_params(&mut |p| {
+                if i == 0 {
+                    val = p.grad.data()[2];
+                }
+                i += 1;
+            });
+            val
+        };
+        let eps = 1e-2f32;
+        let perturb = |d: &mut ConvTranspose2d, delta: f32| {
+            let mut i = 0;
+            d.visit_params(&mut |p| {
+                if i == 0 {
+                    p.value.data_mut()[2] += delta;
+                }
+                i += 1;
+            });
+        };
+        perturb(&mut deconv, eps);
+        let (lp, _) = mse(&deconv.forward(&x), &target);
+        perturb(&mut deconv, -2.0 * eps);
+        let (lm, _) = mse(&deconv.forward(&x), &target);
+        perturb(&mut deconv, eps);
+        let numeric = (lp - lm) / (2.0 * eps);
+        assert!((numeric - analytic).abs() < 2e-2, "weight grad: {numeric} vs {analytic}");
+    }
+}

@@ -1,0 +1,141 @@
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::{Layer, Tensor};
+
+/// Inverted dropout: during training, each activation is zeroed with
+/// probability `p` and survivors are scaled by `1 / (1 − p)` so the
+/// expected activation is unchanged; in eval mode the layer is the
+/// identity.
+///
+/// The layer owns its RNG (seeded at construction) so training runs
+/// stay reproducible.
+///
+/// # Example
+///
+/// ```
+/// use nn::{layers::Dropout, Layer, Tensor};
+///
+/// let mut drop = Dropout::new(0.5, 1);
+/// drop.set_training(false);
+/// let x = Tensor::full(&[4], 2.0);
+/// assert_eq!(drop.forward(&x), x); // identity in eval mode
+/// ```
+#[derive(Debug, Serialize, Deserialize)]
+pub struct Dropout {
+    p: f32,
+    training: bool,
+    #[serde(skip, default = "default_rng")]
+    rng: StdRng,
+    #[serde(skip)]
+    mask: Option<Vec<f32>>,
+}
+
+fn default_rng() -> StdRng {
+    StdRng::seed_from_u64(0)
+}
+
+impl Dropout {
+    /// New dropout layer with drop probability `p`, in training mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1)`.
+    #[must_use]
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        Dropout { p, training: true, rng: StdRng::seed_from_u64(seed), mask: None }
+    }
+
+    /// Switch between training (random masking) and eval (identity).
+    pub fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    /// Whether the layer is in training mode.
+    #[must_use]
+    pub fn is_training(&self) -> bool {
+        self.training
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        if !self.training || self.p == 0.0 {
+            self.mask = None;
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> = (0..input.numel())
+            .map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        let data = input.data().iter().zip(&mask).map(|(&v, &m)| v * m).collect();
+        self.mask = Some(mask);
+        Tensor::from_vec(data, input.shape())
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        match &self.mask {
+            None => grad_output.clone(),
+            Some(mask) => {
+                assert_eq!(grad_output.numel(), mask.len(), "bad grad shape for Dropout");
+                let data =
+                    grad_output.data().iter().zip(mask).map(|(&g, &m)| g * m).collect();
+                Tensor::from_vec(data, grad_output.shape())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut drop = Dropout::new(0.9, 0);
+        drop.set_training(false);
+        let x = Tensor::full(&[100], 1.0);
+        assert_eq!(drop.forward(&x), x);
+        assert!(!drop.is_training());
+    }
+
+    #[test]
+    fn training_preserves_expectation() {
+        let mut drop = Dropout::new(0.5, 1);
+        let x = Tensor::full(&[10_000], 1.0);
+        let y = drop.forward(&x);
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.05, "expectation drifted: {mean}");
+        // Survivors are scaled by 2, dropped are 0.
+        assert!(y.data().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut drop = Dropout::new(0.5, 2);
+        let x = Tensor::full(&[1000], 1.0);
+        let y = drop.forward(&x);
+        let g = drop.backward(&Tensor::full(&[1000], 1.0));
+        // Gradient passes exactly where the forward did.
+        for (yv, gv) in y.data().iter().zip(g.data()) {
+            assert_eq!(yv == &0.0, gv == &0.0);
+        }
+    }
+
+    #[test]
+    fn zero_probability_is_identity_even_training() {
+        let mut drop = Dropout::new(0.0, 3);
+        let x = Tensor::full(&[8], 3.0);
+        assert_eq!(drop.forward(&x), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn p_one_rejected() {
+        let _ = Dropout::new(1.0, 0);
+    }
+}

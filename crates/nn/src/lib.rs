@@ -1,0 +1,96 @@
+//! Minimal CPU deep-learning substrate for the wafer-map
+//! deep-selective-learning reproduction.
+//!
+//! This crate provides everything the paper's models need and nothing
+//! more: a dense `f32` [`Tensor`], a threaded GEMM, convolutional /
+//! pooling / linear layers with **manual backpropagation**, common
+//! activations, fused softmax cross-entropy and MSE losses, He/Xavier
+//! initialization, and SGD/Adam optimizers. Weights serialize with
+//! `serde` for checkpointing.
+//!
+//! The design follows a classic layer-object architecture: each
+//! [`Layer`] caches whatever it needs during `forward` and consumes it
+//! in `backward`, and owns its [`Param`]s (value + gradient + Adam
+//! moments). A [`Sequential`] container chains layers; multi-head
+//! models (like SelectiveNet) compose layers manually.
+//!
+//! # Example
+//!
+//! ```
+//! use nn::{layers::{Linear, Relu}, Layer, Sequential, Tensor, optim::Adam, loss::softmax_cross_entropy};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut net = Sequential::new()
+//!     .with(Linear::new(4, 16, &mut rng))
+//!     .with(Relu::new())
+//!     .with(Linear::new(16, 3, &mut rng));
+//! let x = Tensor::randn(&[8, 4], 1.0, &mut rng);
+//! let logits = net.forward(&x);
+//! assert_eq!(logits.shape(), &[8, 3]);
+//! let labels = vec![0usize, 1, 2, 0, 1, 2, 0, 1];
+//! let (loss, grad) = softmax_cross_entropy(&logits, &labels, None);
+//! assert!(loss.is_finite());
+//! net.zero_grad();
+//! net.backward(&grad);
+//! let mut adam = Adam::new(1e-3);
+//! adam.step(&mut net);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod param;
+mod sequential;
+mod tensor;
+
+pub mod gemm;
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod optim;
+pub mod schedule;
+pub mod serialize;
+
+pub use param::Param;
+pub use sequential::Sequential;
+pub use tensor::Tensor;
+
+/// A differentiable network component with cached state for manual
+/// backpropagation.
+///
+/// Contract: `backward` must be called after `forward` with a gradient
+/// of the same shape as the last forward output, and returns the
+/// gradient with respect to that forward input. Layers accumulate
+/// parameter gradients (they do not overwrite), so call
+/// [`Layer::zero_grad`] between optimizer steps.
+pub trait Layer: std::fmt::Debug + Send {
+    /// Compute the layer output for `input`, caching activations
+    /// needed by the backward pass.
+    fn forward(&mut self, input: &Tensor) -> Tensor;
+
+    /// Propagate `grad_output` (d loss / d output) backward, returning
+    /// d loss / d input and accumulating parameter gradients.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called before `forward` or with a
+    /// gradient whose shape does not match the last output.
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Visit every trainable parameter (for optimizers and
+    /// serialization). Stateless layers use the default empty impl.
+    fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut Param)) {}
+
+    /// Reset all parameter gradients to zero.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.grad.fill(0.0));
+    }
+
+    /// Total number of trainable scalar parameters.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.value.numel());
+        n
+    }
+}

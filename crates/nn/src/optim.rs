@@ -1,0 +1,271 @@
+//! First-order optimizers operating on [`Layer`] parameter trees.
+//!
+//! Optimizer moment buffers live inside each [`crate::Param`], so an
+//! optimizer holds only hyper-parameters and a step counter and can be
+//! applied to any set of layers — including multi-head models passed
+//! as several disjoint layers via [`Adam::step_multi`].
+
+use crate::{Layer, Param};
+
+/// Stochastic gradient descent with optional classical momentum.
+///
+/// # Example
+///
+/// ```
+/// use nn::{layers::Linear, optim::Sgd, Layer, Tensor, loss::mse};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut fc = Linear::new(2, 1, &mut rng);
+/// let x = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]);
+/// let y = fc.forward(&x);
+/// let (_, grad) = mse(&y, &Tensor::zeros(&[1, 1]));
+/// fc.zero_grad();
+/// fc.backward(&grad);
+/// Sgd::new(0.1).step(&mut fc);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+}
+
+impl Sgd {
+    /// Plain SGD with the given learning rate (no momentum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive.
+    #[must_use]
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Sgd { lr, momentum: 0.0 }
+    }
+
+    /// Add classical momentum (velocity stored in `Param::m`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `momentum` is outside `[0, 1)`.
+    #[must_use]
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+        self.momentum = momentum;
+        self
+    }
+
+    /// Apply one update to every parameter of `layer`.
+    pub fn step(&mut self, layer: &mut dyn Layer) {
+        self.step_multi(&mut [layer]);
+    }
+
+    /// Apply one update across several disjoint layers (e.g. the trunk
+    /// and heads of a multi-head model).
+    pub fn step_multi(&mut self, layers: &mut [&mut dyn Layer]) {
+        let (lr, mu) = (self.lr, self.momentum);
+        for layer in layers {
+            layer.visit_params(&mut |p: &mut Param| {
+                if mu > 0.0 {
+                    for ((v, g), w) in
+                        p.m.data_mut().iter_mut().zip(p.grad.data()).zip(p.value.data_mut())
+                    {
+                        *v = mu * *v + g;
+                        *w -= lr * *v;
+                    }
+                } else {
+                    p.value.add_scaled(&p.grad, -lr);
+                }
+            });
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) — the optimizer the paper trains with.
+///
+/// Moments are stored in each parameter's `m`/`v` buffers; the bias
+/// correction uses this optimizer's global step count, which increments
+/// once per [`Adam::step`]/[`Adam::step_multi`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+}
+
+impl Adam {
+    /// Adam with standard betas `(0.9, 0.999)` and `eps = 1e-8`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive.
+    #[must_use]
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0 }
+    }
+
+    /// Override the exponential decay rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either beta is outside `[0, 1)`.
+    #[must_use]
+    pub fn with_betas(mut self, beta1: f32, beta2: f32) -> Self {
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2), "betas in [0,1)");
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+
+    /// Current learning rate.
+    #[must_use]
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Change the learning rate (for schedules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive.
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Number of steps taken so far.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Apply one update to every parameter of `layer`.
+    pub fn step(&mut self, layer: &mut dyn Layer) {
+        self.step_multi(&mut [layer]);
+    }
+
+    /// Apply one update across several disjoint layers, advancing the
+    /// step counter once.
+    pub fn step_multi(&mut self, layers: &mut [&mut dyn Layer]) {
+        self.t += 1;
+        let t = self.t as f32;
+        let (lr, b1, b2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        let bc1 = 1.0 - b1.powf(t);
+        let bc2 = 1.0 - b2.powf(t);
+        for layer in layers {
+            layer.visit_params(&mut |p: &mut Param| {
+                let grad = p.grad.data();
+                let m = p.m.data_mut();
+                for (mi, &gi) in m.iter_mut().zip(grad) {
+                    *mi = b1 * *mi + (1.0 - b1) * gi;
+                }
+                let v = p.v.data_mut();
+                for (vi, &gi) in v.iter_mut().zip(grad) {
+                    *vi = b2 * *vi + (1.0 - b2) * gi * gi;
+                }
+                let value = p.value.data_mut();
+                for ((wi, &mi), &vi) in value.iter_mut().zip(p.m.data()).zip(p.v.data()) {
+                    let m_hat = mi / bc1;
+                    let v_hat = vi / bc2;
+                    *wi -= lr * m_hat / (v_hat.sqrt() + eps);
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+    use crate::layers::{Linear, Relu};
+    use crate::loss::mse;
+    use crate::{Sequential, Tensor};
+
+    /// Train y = 2x1 - 3x2 + 1 with a linear model.
+    fn fit_linear(optim: &mut dyn FnMut(&mut Sequential), epochs: usize) -> f32 {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = Sequential::new().with(Linear::new(2, 1, &mut rng));
+        let xs: Vec<f32> =
+            (0..64).flat_map(|i| vec![(i % 8) as f32 / 8.0, (i / 8) as f32 / 8.0]).collect();
+        let ys: Vec<f32> = xs.chunks(2).map(|p| 2.0 * p[0] - 3.0 * p[1] + 1.0).collect();
+        let x = Tensor::from_vec(xs, &[64, 2]);
+        let t = Tensor::from_vec(ys, &[64, 1]);
+        let mut last = f32::MAX;
+        for _ in 0..epochs {
+            let y = net.forward(&x);
+            let (loss, grad) = mse(&y, &t);
+            net.zero_grad();
+            net.backward(&grad);
+            optim(&mut net);
+            last = loss;
+        }
+        last
+    }
+
+    #[test]
+    fn sgd_converges_on_linear_regression() {
+        let mut sgd = Sgd::new(0.1);
+        let loss = fit_linear(&mut |net| sgd.step(net), 500);
+        assert!(loss < 1e-3, "SGD failed to converge: {loss}");
+    }
+
+    #[test]
+    fn momentum_accelerates_sgd() {
+        let mut plain = Sgd::new(0.02);
+        let slow = fit_linear(&mut |net| plain.step(net), 100);
+        let mut mom = Sgd::new(0.02).with_momentum(0.9);
+        let fast = fit_linear(&mut |net| mom.step(net), 100);
+        assert!(fast < slow, "momentum did not help: {fast} vs {slow}");
+    }
+
+    #[test]
+    fn adam_converges_on_linear_regression() {
+        let mut adam = Adam::new(0.05);
+        let loss = fit_linear(&mut |net| adam.step(net), 300);
+        assert!(loss < 1e-3, "Adam failed to converge: {loss}");
+    }
+
+    #[test]
+    fn adam_trains_a_nonlinear_network() {
+        // XOR-ish regression only solvable with the hidden layer.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = Sequential::new()
+            .with(Linear::new(2, 16, &mut rng))
+            .with(Relu::new())
+            .with(Linear::new(16, 1, &mut rng));
+        let x = Tensor::from_vec(vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0], &[4, 2]);
+        let t = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], &[4, 1]);
+        let mut adam = Adam::new(0.02);
+        let mut loss = f32::MAX;
+        for _ in 0..800 {
+            let y = net.forward(&x);
+            let (l, grad) = mse(&y, &t);
+            net.zero_grad();
+            net.backward(&grad);
+            adam.step(&mut net);
+            loss = l;
+        }
+        assert!(loss < 1e-2, "XOR not learned: {loss}");
+    }
+
+    #[test]
+    fn step_counter_advances_once_per_multi_step() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut a = Linear::new(2, 2, &mut rng);
+        let mut b = Linear::new(2, 2, &mut rng);
+        let mut adam = Adam::new(0.01);
+        adam.step_multi(&mut [&mut a, &mut b]);
+        assert_eq!(adam.steps(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_learning_rate_rejected() {
+        let _ = Adam::new(0.0);
+    }
+}

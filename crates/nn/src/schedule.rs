@@ -1,0 +1,129 @@
+//! Learning-rate schedules and gradient utilities.
+
+use crate::Layer;
+
+/// A learning-rate schedule: maps an epoch index to a multiplier on
+/// the base learning rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant,
+    /// Multiply by `gamma` every `every` epochs.
+    StepDecay {
+        /// Epoch interval between decays.
+        every: usize,
+        /// Decay factor per step.
+        gamma: f32,
+    },
+    /// Cosine annealing from 1.0 down to `floor` over `total` epochs.
+    Cosine {
+        /// Total schedule length in epochs.
+        total: usize,
+        /// Final multiplier (fraction of the base rate).
+        floor: f32,
+    },
+}
+
+impl LrSchedule {
+    /// Multiplier on the base learning rate at `epoch` (0-based).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use nn::schedule::LrSchedule;
+    ///
+    /// let step = LrSchedule::StepDecay { every: 10, gamma: 0.5 };
+    /// assert_eq!(step.factor(0), 1.0);
+    /// assert_eq!(step.factor(10), 0.5);
+    /// assert_eq!(step.factor(25), 0.25);
+    /// ```
+    #[must_use]
+    pub fn factor(&self, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::StepDecay { every, gamma } => match epoch.checked_div(every) {
+                None => 1.0,
+                Some(steps) => gamma.powi(steps as i32),
+            },
+            LrSchedule::Cosine { total, floor } => {
+                if total == 0 {
+                    return 1.0;
+                }
+                let t = (epoch.min(total) as f32) / (total as f32);
+                let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+                floor + (1.0 - floor) * cos
+            }
+        }
+    }
+}
+
+/// Scale all gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clipping norm.
+///
+/// # Panics
+///
+/// Panics if `max_norm` is not positive.
+pub fn clip_grad_norm(layer: &mut dyn Layer, max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let mut sq = 0.0f64;
+    layer.visit_params(&mut |p| {
+        sq += p.grad.data().iter().map(|&g| f64::from(g) * f64::from(g)).sum::<f64>();
+    });
+    let norm = (sq as f32).sqrt();
+    if norm > max_norm {
+        let scale = max_norm / norm;
+        layer.visit_params(&mut |p| p.grad.scale(scale));
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+    use crate::layers::Linear;
+    use crate::Layer;
+
+    #[test]
+    fn constant_schedule_never_changes() {
+        for epoch in [0usize, 5, 500] {
+            assert_eq!(LrSchedule::Constant.factor(epoch), 1.0);
+        }
+    }
+
+    #[test]
+    fn cosine_decays_monotonically_to_floor() {
+        let s = LrSchedule::Cosine { total: 20, floor: 0.1 };
+        assert!((s.factor(0) - 1.0).abs() < 1e-6);
+        let mut prev = f32::MAX;
+        for epoch in 0..=20 {
+            let f = s.factor(epoch);
+            assert!(f <= prev + 1e-6, "not monotone at {epoch}");
+            prev = f;
+        }
+        assert!((s.factor(20) - 0.1).abs() < 1e-5);
+        // Past the horizon the floor holds.
+        assert!((s.factor(100) - 0.1).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_reduces_large_gradients_only() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut fc = Linear::new(4, 4, &mut rng);
+        fc.visit_params(&mut |p| p.grad.fill(10.0));
+        let before = clip_grad_norm(&mut fc, 1.0);
+        assert!(before > 1.0);
+        let mut sq = 0.0f32;
+        fc.visit_params(&mut |p| sq += p.grad.data().iter().map(|g| g * g).sum::<f32>());
+        assert!((sq.sqrt() - 1.0).abs() < 1e-4);
+        // A small gradient is untouched.
+        fc.visit_params(&mut |p| p.grad.fill(1e-4));
+        let small = clip_grad_norm(&mut fc, 1.0);
+        assert!(small < 1.0);
+        let mut max = 0.0f32;
+        fc.visit_params(&mut |p| max = max.max(p.grad.max_abs()));
+        assert!((max - 1e-4).abs() < 1e-7);
+    }
+}

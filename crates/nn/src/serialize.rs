@@ -1,0 +1,198 @@
+//! Checkpointing: extract and restore parameter state for any
+//! [`Layer`] tree.
+//!
+//! Layers are trait objects, so instead of serializing whole layers we
+//! serialize an ordered *state dict* of parameter tensors (including
+//! Adam moments, so training resumes exactly). Restoring walks the
+//! same parameter order and verifies shapes.
+
+use std::fmt;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Layer, Param, Tensor};
+
+/// Ordered snapshot of every parameter in a layer tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateDict {
+    entries: Vec<Param>,
+}
+
+impl StateDict {
+    /// Capture the current parameters (values, gradients and Adam
+    /// moments) of `layer` in visitation order.
+    #[must_use]
+    pub fn capture(layer: &mut dyn Layer) -> Self {
+        let mut entries = Vec::new();
+        layer.visit_params(&mut |p: &mut Param| entries.push(p.clone()));
+        StateDict { entries }
+    }
+
+    /// Number of parameters captured.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Restore this snapshot into `layer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RestoreError`] if the parameter count or any shape
+    /// does not match the target layer.
+    pub fn restore(&self, layer: &mut dyn Layer) -> Result<(), RestoreError> {
+        // First pass: validate without mutating.
+        let mut shapes: Vec<Vec<usize>> = Vec::new();
+        layer.visit_params(&mut |p: &mut Param| shapes.push(p.value.shape().to_vec()));
+        if shapes.len() != self.entries.len() {
+            return Err(RestoreError::CountMismatch {
+                expected: shapes.len(),
+                found: self.entries.len(),
+            });
+        }
+        for (i, (shape, entry)) in shapes.iter().zip(&self.entries).enumerate() {
+            if shape.as_slice() != entry.value.shape() {
+                return Err(RestoreError::ShapeMismatch {
+                    index: i,
+                    expected: shape.clone(),
+                    found: entry.value.shape().to_vec(),
+                });
+            }
+        }
+        let mut i = 0;
+        layer.visit_params(&mut |p: &mut Param| {
+            *p = self.entries[i].clone();
+            i += 1;
+        });
+        Ok(())
+    }
+
+    /// Serialize to a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation and serialization errors.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), std::io::Error> {
+        let file = std::fs::File::create(path)?;
+        serde_json::to_writer(std::io::BufWriter::new(file), self)
+            .map_err(std::io::Error::other)
+    }
+
+    /// Deserialize from a JSON file written by [`StateDict::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-open and deserialization errors.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, std::io::Error> {
+        let file = std::fs::File::open(path)?;
+        serde_json::from_reader(std::io::BufReader::new(file)).map_err(std::io::Error::other)
+    }
+
+    /// Parameter values only (without optimizer state), useful for
+    /// inspecting checkpoints.
+    #[must_use]
+    pub fn values(&self) -> Vec<&Tensor> {
+        self.entries.iter().map(|p| &p.value).collect()
+    }
+}
+
+/// Error restoring a [`StateDict`] into an incompatible layer tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The snapshot holds a different number of parameters.
+    CountMismatch {
+        /// Parameters in the target layer.
+        expected: usize,
+        /// Parameters in the snapshot.
+        found: usize,
+    },
+    /// A parameter's shape disagrees.
+    ShapeMismatch {
+        /// Parameter index in visitation order.
+        index: usize,
+        /// Shape in the target layer.
+        expected: Vec<usize>,
+        /// Shape in the snapshot.
+        found: Vec<usize>,
+    },
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::CountMismatch { expected, found } => {
+                write!(f, "state dict has {found} params, layer expects {expected}")
+            }
+            RestoreError::ShapeMismatch { index, expected, found } => write!(
+                f,
+                "param {index} shape mismatch: layer {expected:?} vs state dict {found:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+    use crate::layers::{Linear, Relu};
+    use crate::Sequential;
+
+    #[test]
+    fn capture_restore_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut a = Sequential::new().with(Linear::new(4, 3, &mut rng)).with(Relu::new());
+        let snap = StateDict::capture(&mut a);
+        assert_eq!(snap.len(), 2);
+
+        let mut b = Sequential::new().with(Linear::new(4, 3, &mut rng)).with(Relu::new());
+        snap.restore(&mut b).expect("compatible shapes");
+        let x = Tensor::randn(&[2, 4], 1.0, &mut rng);
+        assert_eq!(a.forward(&x).data(), b.forward(&x).data());
+    }
+
+    #[test]
+    fn restore_rejects_wrong_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut a = Sequential::new().with(Linear::new(4, 3, &mut rng));
+        let snap = StateDict::capture(&mut a);
+        let mut b = Sequential::new()
+            .with(Linear::new(4, 3, &mut rng))
+            .with(Linear::new(3, 2, &mut rng));
+        assert!(matches!(snap.restore(&mut b), Err(RestoreError::CountMismatch { .. })));
+    }
+
+    #[test]
+    fn restore_rejects_wrong_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut a = Sequential::new().with(Linear::new(4, 3, &mut rng));
+        let snap = StateDict::capture(&mut a);
+        let mut b = Sequential::new().with(Linear::new(5, 3, &mut rng));
+        assert!(matches!(snap.restore(&mut b), Err(RestoreError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = Sequential::new().with(Linear::new(3, 2, &mut rng));
+        let snap = StateDict::capture(&mut net);
+        let dir = std::env::temp_dir().join("nn_statedict_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("ckpt.json");
+        snap.save(&path).expect("save");
+        let loaded = StateDict::load(&path).expect("load");
+        assert_eq!(snap, loaded);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,218 @@
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// The nine defect pattern classes of the WM-811K dataset.
+///
+/// Class indices follow the paper's Table II row order, so
+/// [`DefectClass::index`] can be used directly as a label in a
+/// `n_c = 9` classifier and as a row/column index in confusion
+/// matrices.
+///
+/// # Example
+///
+/// ```
+/// use wafermap::DefectClass;
+///
+/// assert_eq!(DefectClass::ALL.len(), 9);
+/// assert_eq!(DefectClass::Center.index(), 0);
+/// assert_eq!(DefectClass::from_index(8), Some(DefectClass::None));
+/// assert_eq!("Edge-Ring".parse::<DefectClass>().ok(), Some(DefectClass::EdgeRing));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DefectClass {
+    /// Cluster of failing dies at the wafer centre.
+    Center,
+    /// Ring of failing dies around the centre (hole in the middle).
+    Donut,
+    /// Localized cluster of failures at the wafer edge.
+    EdgeLoc,
+    /// Ring of failures along the entire wafer edge.
+    EdgeRing,
+    /// Localized cluster of failures away from centre and edge.
+    Location,
+    /// Nearly the whole wafer fails.
+    NearFull,
+    /// Spatially uncorrelated (uniform random) failures.
+    Random,
+    /// Thin curvilinear streak of failures (mechanical scratch).
+    Scratch,
+    /// No systematic pattern; only background yield loss.
+    None,
+}
+
+impl DefectClass {
+    /// All nine classes in Table II row order.
+    pub const ALL: [DefectClass; 9] = [
+        DefectClass::Center,
+        DefectClass::Donut,
+        DefectClass::EdgeLoc,
+        DefectClass::EdgeRing,
+        DefectClass::Location,
+        DefectClass::NearFull,
+        DefectClass::Random,
+        DefectClass::Scratch,
+        DefectClass::None,
+    ];
+
+    /// Number of classes (`n_c` in the paper).
+    pub const COUNT: usize = 9;
+
+    /// Zero-based label index (Table II row order).
+    #[must_use]
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&c| c == self).expect("class present in ALL")
+    }
+
+    /// Inverse of [`DefectClass::index`]; `None` if out of range.
+    #[must_use]
+    pub fn from_index(index: usize) -> Option<Self> {
+        Self::ALL.get(index).copied()
+    }
+
+    /// Human-readable name as printed in the paper's tables.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            DefectClass::Center => "Center",
+            DefectClass::Donut => "Donut",
+            DefectClass::EdgeLoc => "Edge-Loc",
+            DefectClass::EdgeRing => "Edge-Ring",
+            DefectClass::Location => "Location",
+            DefectClass::NearFull => "Near-Full",
+            DefectClass::Random => "Random",
+            DefectClass::Scratch => "Scratch",
+            DefectClass::None => "None",
+        }
+    }
+
+    /// Whether this class is an actual defect pattern (everything
+    /// except [`DefectClass::None`]). The paper reports defect-only
+    /// detection rates separately because those matter most for yield
+    /// analysis.
+    #[must_use]
+    pub const fn is_defect(self) -> bool {
+        !matches!(self, DefectClass::None)
+    }
+
+    /// Training-set sample counts from the paper's Table II
+    /// ("Training" column). Used to reproduce the dataset's class
+    /// imbalance at any overall scale.
+    #[must_use]
+    pub const fn paper_training_count(self) -> usize {
+        match self {
+            DefectClass::Center => 2767,
+            DefectClass::Donut => 329,
+            DefectClass::EdgeLoc => 1958,
+            DefectClass::EdgeRing => 6802,
+            DefectClass::Location => 1311,
+            DefectClass::NearFull => 49,
+            DefectClass::Random => 498,
+            DefectClass::Scratch => 413,
+            DefectClass::None => 29357,
+        }
+    }
+
+    /// Test-set sample counts from the paper's Table II ("Testing").
+    #[must_use]
+    pub const fn paper_testing_count(self) -> usize {
+        match self {
+            DefectClass::Center => 695,
+            DefectClass::Donut => 80,
+            DefectClass::EdgeLoc => 459,
+            DefectClass::EdgeRing => 1752,
+            DefectClass::Location => 309,
+            DefectClass::NearFull => 5,
+            DefectClass::Random => 111,
+            DefectClass::Scratch => 87,
+            DefectClass::None => 7373,
+        }
+    }
+}
+
+impl fmt::Display for DefectClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing a [`DefectClass`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDefectClassError {
+    input: String,
+}
+
+impl fmt::Display for ParseDefectClassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown defect class name: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseDefectClassError {}
+
+impl FromStr for DefectClass {
+    type Err = ParseDefectClassError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let canon = s.trim().to_ascii_lowercase().replace(['-', '_', ' '], "");
+        let class = match canon.as_str() {
+            "center" => DefectClass::Center,
+            "donut" => DefectClass::Donut,
+            "edgeloc" | "edgelocation" => DefectClass::EdgeLoc,
+            "edgering" => DefectClass::EdgeRing,
+            "location" | "loc" => DefectClass::Location,
+            "nearfull" => DefectClass::NearFull,
+            "random" => DefectClass::Random,
+            "scratch" => DefectClass::Scratch,
+            "none" => DefectClass::None,
+            _ => return Err(ParseDefectClassError { input: s.to_owned() }),
+        };
+        Ok(class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_roundtrip() {
+        for (i, class) in DefectClass::ALL.iter().enumerate() {
+            assert_eq!(class.index(), i);
+            assert_eq!(DefectClass::from_index(i), Some(*class));
+        }
+        assert_eq!(DefectClass::from_index(9), None);
+    }
+
+    #[test]
+    fn parse_accepts_paper_spellings() {
+        for class in DefectClass::ALL {
+            assert_eq!(class.name().parse::<DefectClass>().ok(), Some(class));
+        }
+        assert_eq!("edge_loc".parse::<DefectClass>().ok(), Some(DefectClass::EdgeLoc));
+        assert_eq!("NEAR-FULL".parse::<DefectClass>().ok(), Some(DefectClass::NearFull));
+        assert!("gibberish".parse::<DefectClass>().is_err());
+    }
+
+    #[test]
+    fn paper_counts_match_table_ii_totals() {
+        let train: usize = DefectClass::ALL.iter().map(|c| c.paper_training_count()).sum();
+        let test: usize = DefectClass::ALL.iter().map(|c| c.paper_testing_count()).sum();
+        assert_eq!(train, 43484);
+        assert_eq!(test, 10871);
+        assert_eq!(train + test, 54355);
+    }
+
+    #[test]
+    fn only_none_is_not_a_defect() {
+        let defects: Vec<_> = DefectClass::ALL.iter().filter(|c| c.is_defect()).collect();
+        assert_eq!(defects.len(), 8);
+        assert!(!DefectClass::None.is_defect());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(DefectClass::EdgeRing.to_string(), "Edge-Ring");
+    }
+}

@@ -1,0 +1,416 @@
+//! Per-class spatial stochastic models.
+//!
+//! Each pattern is described by a [`PatternParams`] value sampled once
+//! per wafer; painting is then a per-die Bernoulli draw whose
+//! probability is a function of position. Probabilities are scaled by
+//! [`GenConfig::pattern_strength`] so the concept-shift experiment can
+//! weaken or intensify systematic patterns without changing geometry.
+
+use std::f32::consts::PI;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use super::GenConfig;
+use crate::{DefectClass, WaferMap};
+
+/// Sampled parameters for one systematic defect pattern instance.
+///
+/// The variants carry everything needed to re-paint the same pattern
+/// (all geometry in units relative to the wafer radius), which makes
+/// generation reproducible and lets experiments perturb parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PatternParams {
+    /// Gaussian blob of failures at the wafer centre.
+    Center {
+        /// Blob standard deviation as a fraction of the radius.
+        sigma: f32,
+        /// Peak fail probability at the blob centre.
+        density: f32,
+    },
+    /// Annulus of failures around the centre.
+    Donut {
+        /// Inner ring radius as a fraction of the wafer radius.
+        inner: f32,
+        /// Outer ring radius as a fraction of the wafer radius.
+        outer: f32,
+        /// Fail probability inside the annulus.
+        density: f32,
+    },
+    /// Arc-shaped cluster hugging the wafer edge.
+    EdgeLoc {
+        /// Angular centre of the arc in radians.
+        theta: f32,
+        /// Angular half-width of the arc in radians.
+        half_width: f32,
+        /// Radial inner bound as a fraction of the radius.
+        inner: f32,
+        /// Fail probability inside the arc.
+        density: f32,
+    },
+    /// Complete ring along the wafer edge.
+    EdgeRing {
+        /// Radial inner bound as a fraction of the radius.
+        inner: f32,
+        /// Fail probability inside the ring.
+        density: f32,
+        /// Angular gap (radians) left un-failed, if any.
+        gap: f32,
+        /// Angular position of the gap centre.
+        gap_theta: f32,
+    },
+    /// Off-centre localized blob.
+    Location {
+        /// Blob centre offset from wafer centre, fraction of radius.
+        offset: f32,
+        /// Direction of the offset in radians.
+        theta: f32,
+        /// Blob standard deviation as a fraction of the radius.
+        sigma: f32,
+        /// Peak fail probability at the blob centre.
+        density: f32,
+    },
+    /// Nearly the whole wafer fails.
+    NearFull {
+        /// Uniform fail probability.
+        density: f32,
+    },
+    /// Spatially uncorrelated failures.
+    Random {
+        /// Uniform fail probability.
+        density: f32,
+    },
+    /// Thin curvilinear streak (mechanical scratch).
+    Scratch {
+        /// Start position as (radius fraction, angle).
+        start: (f32, f32),
+        /// Initial heading in radians.
+        heading: f32,
+        /// Per-step heading jitter (radians, std of Gaussian).
+        wobble: f32,
+        /// Streak length in die steps.
+        length: usize,
+        /// Probability of widening a step to 2 dies.
+        thicken: f32,
+    },
+    /// No systematic pattern (background yield loss only).
+    None,
+}
+
+impl PatternParams {
+    /// Sample pattern parameters for `class` from its nominal ranges.
+    pub fn sample<R: Rng + ?Sized>(class: DefectClass, cfg: &GenConfig, rng: &mut R) -> Self {
+        let grid = cfg.grid as f32;
+        match class {
+            DefectClass::Center => PatternParams::Center {
+                sigma: rng.gen_range(0.12..0.28),
+                density: rng.gen_range(0.75..0.95),
+            },
+            DefectClass::Donut => {
+                let inner = rng.gen_range(0.25..0.45);
+                PatternParams::Donut {
+                    inner,
+                    outer: inner + rng.gen_range(0.18..0.35),
+                    density: rng.gen_range(0.65..0.9),
+                }
+            }
+            DefectClass::EdgeLoc => PatternParams::EdgeLoc {
+                theta: rng.gen_range(0.0..2.0 * PI),
+                half_width: rng.gen_range(0.25..0.7),
+                inner: rng.gen_range(0.72..0.85),
+                density: rng.gen_range(0.7..0.95),
+            },
+            DefectClass::EdgeRing => PatternParams::EdgeRing {
+                inner: rng.gen_range(0.8..0.9),
+                density: rng.gen_range(0.8..0.97),
+                gap: if rng.gen_bool(0.3) { rng.gen_range(0.2..0.8) } else { 0.0 },
+                gap_theta: rng.gen_range(0.0..2.0 * PI),
+            },
+            DefectClass::Location => PatternParams::Location {
+                offset: rng.gen_range(0.25..0.6),
+                theta: rng.gen_range(0.0..2.0 * PI),
+                sigma: rng.gen_range(0.1..0.22),
+                density: rng.gen_range(0.7..0.95),
+            },
+            DefectClass::NearFull => {
+                PatternParams::NearFull { density: rng.gen_range(0.8..0.97) }
+            }
+            DefectClass::Random => PatternParams::Random { density: rng.gen_range(0.15..0.38) },
+            DefectClass::Scratch => PatternParams::Scratch {
+                start: (rng.gen_range(0.0..0.7), rng.gen_range(0.0..2.0 * PI)),
+                heading: rng.gen_range(0.0..2.0 * PI),
+                wobble: rng.gen_range(0.05..0.25),
+                length: rng.gen_range((grid * 0.5) as usize..(grid * 1.4) as usize),
+                thicken: rng.gen_range(0.0..0.35),
+            },
+            DefectClass::None => PatternParams::None,
+        }
+    }
+
+    /// The defect class this parameter set belongs to.
+    #[must_use]
+    pub fn class(&self) -> DefectClass {
+        match self {
+            PatternParams::Center { .. } => DefectClass::Center,
+            PatternParams::Donut { .. } => DefectClass::Donut,
+            PatternParams::EdgeLoc { .. } => DefectClass::EdgeLoc,
+            PatternParams::EdgeRing { .. } => DefectClass::EdgeRing,
+            PatternParams::Location { .. } => DefectClass::Location,
+            PatternParams::NearFull { .. } => DefectClass::NearFull,
+            PatternParams::Random { .. } => DefectClass::Random,
+            PatternParams::Scratch { .. } => DefectClass::Scratch,
+            PatternParams::None => DefectClass::None,
+        }
+    }
+}
+
+/// Paint the systematic pattern onto `map` (failures only; never
+/// touches off-wafer locations).
+pub(super) fn paint<R: Rng + ?Sized>(
+    map: &mut WaferMap,
+    params: &PatternParams,
+    cfg: &GenConfig,
+    rng: &mut R,
+) {
+    let strength = cfg.pattern_strength;
+    let (cx, cy) = map.center();
+    let radius = map.radius();
+    match *params {
+        PatternParams::None => {}
+        PatternParams::NearFull { density } | PatternParams::Random { density } => {
+            let p = (density * strength).clamp(0.0, 1.0);
+            for_each_on_wafer(map, |map, x, y| {
+                if rng.gen::<f32>() < p {
+                    map.fail_if_on_wafer(x, y);
+                }
+            });
+        }
+        PatternParams::Center { sigma, density } => {
+            let s = sigma * radius;
+            paint_blob(map, cx, cy, s, density * strength, rng);
+        }
+        PatternParams::Location { offset, theta, sigma, density } => {
+            let bx = cx + offset * radius * theta.cos();
+            let by = cy + offset * radius * theta.sin();
+            paint_blob(map, bx, by, sigma * radius, density * strength, rng);
+        }
+        PatternParams::Donut { inner, outer, density } => {
+            let p = (density * strength).clamp(0.0, 1.0);
+            let (r0, r1) = (inner * radius, outer * radius);
+            for_each_on_wafer(map, |map, x, y| {
+                let d = ((x as f32 - cx).powi(2) + (y as f32 - cy).powi(2)).sqrt();
+                if d >= r0 && d <= r1 && rng.gen::<f32>() < p {
+                    map.fail_if_on_wafer(x, y);
+                }
+            });
+        }
+        PatternParams::EdgeRing { inner, density, gap, gap_theta } => {
+            let p = (density * strength).clamp(0.0, 1.0);
+            let r0 = inner * radius;
+            for_each_on_wafer(map, |map, x, y| {
+                let dx = x as f32 - cx;
+                let dy = y as f32 - cy;
+                let d = (dx * dx + dy * dy).sqrt();
+                if d < r0 {
+                    return;
+                }
+                if gap > 0.0 {
+                    let theta = dy.atan2(dx);
+                    if angular_distance(theta, gap_theta) < gap / 2.0 {
+                        return;
+                    }
+                }
+                if rng.gen::<f32>() < p {
+                    map.fail_if_on_wafer(x, y);
+                }
+            });
+        }
+        PatternParams::EdgeLoc { theta, half_width, inner, density } => {
+            let p = (density * strength).clamp(0.0, 1.0);
+            let r0 = inner * radius;
+            for_each_on_wafer(map, |map, x, y| {
+                let dx = x as f32 - cx;
+                let dy = y as f32 - cy;
+                let d = (dx * dx + dy * dy).sqrt();
+                if d < r0 {
+                    return;
+                }
+                let angle = dy.atan2(dx);
+                if angular_distance(angle, theta) <= half_width && rng.gen::<f32>() < p {
+                    map.fail_if_on_wafer(x, y);
+                }
+            });
+        }
+        PatternParams::Scratch { start, heading, wobble, length, thicken } => {
+            let mut x = cx + start.0 * radius * start.1.cos();
+            let mut y = cy + start.0 * radius * start.1.sin();
+            let mut dir = heading;
+            for _ in 0..length {
+                let xi = x.round();
+                let yi = y.round();
+                if xi >= 0.0 && yi >= 0.0 {
+                    map.fail_if_on_wafer(xi as usize, yi as usize);
+                    if rng.gen::<f32>() < thicken {
+                        // Widen perpendicular to the travel direction.
+                        let px = (x - dir.sin()).round();
+                        let py = (y + dir.cos()).round();
+                        if px >= 0.0 && py >= 0.0 {
+                            map.fail_if_on_wafer(px as usize, py as usize);
+                        }
+                    }
+                }
+                dir += super::gaussian(rng) * wobble;
+                x += dir.cos();
+                y += dir.sin();
+                // Reflect off the wafer boundary so scratches stay on it.
+                let dx = x - cx;
+                let dy = y - cy;
+                if (dx * dx + dy * dy).sqrt() > radius {
+                    dir += PI / 2.0 + rng.gen_range(0.0..PI);
+                    x = (x - 2.0 * dx / radius).clamp(0.0, map.width() as f32 - 1.0);
+                    y = (y - 2.0 * dy / radius).clamp(0.0, map.height() as f32 - 1.0);
+                }
+            }
+        }
+    }
+}
+
+/// Sprinkle isolated background failures (yield loss) over the wafer.
+pub(super) fn sprinkle_background<R: Rng + ?Sized>(map: &mut WaferMap, rate: f32, rng: &mut R) {
+    if rate <= 0.0 {
+        return;
+    }
+    for_each_on_wafer(map, |map, x, y| {
+        if rng.gen::<f32>() < rate {
+            map.fail_if_on_wafer(x, y);
+        }
+    });
+}
+
+/// Gaussian-falloff blob painter shared by Center and Location.
+fn paint_blob<R: Rng + ?Sized>(
+    map: &mut WaferMap,
+    bx: f32,
+    by: f32,
+    sigma: f32,
+    peak: f32,
+    rng: &mut R,
+) {
+    let peak = peak.clamp(0.0, 1.0);
+    let two_sigma_sq = 2.0 * sigma * sigma;
+    for_each_on_wafer(map, |map, x, y| {
+        let d2 = (x as f32 - bx).powi(2) + (y as f32 - by).powi(2);
+        let p = peak * (-d2 / two_sigma_sq).exp();
+        if rng.gen::<f32>() < p {
+            map.fail_if_on_wafer(x, y);
+        }
+    });
+}
+
+/// Smallest absolute angular difference between two angles (radians).
+fn angular_distance(a: f32, b: f32) -> f32 {
+    let mut d = (a - b) % (2.0 * PI);
+    if d > PI {
+        d -= 2.0 * PI;
+    }
+    if d < -PI {
+        d += 2.0 * PI;
+    }
+    d.abs()
+}
+
+/// Visit every on-wafer location. Collects coordinates first so the
+/// closure may mutate the map.
+fn for_each_on_wafer<F: FnMut(&mut WaferMap, usize, usize)>(map: &mut WaferMap, mut f: F) {
+    let coords: Vec<(usize, usize)> = map.iter_on_wafer().map(|(x, y, _)| (x, y)).collect();
+    for (x, y) in coords {
+        f(map, x, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn params_class_roundtrip() {
+        let cfg = GenConfig::new(32);
+        let mut rng = StdRng::seed_from_u64(1);
+        for class in DefectClass::ALL {
+            let params = PatternParams::sample(class, &cfg, &mut rng);
+            assert_eq!(params.class(), class);
+        }
+    }
+
+    #[test]
+    fn angular_distance_handles_wraparound() {
+        assert!((angular_distance(0.1, 2.0 * PI - 0.1) - 0.2).abs() < 1e-5);
+        assert!((angular_distance(PI, -PI)).abs() < 1e-5);
+        assert!((angular_distance(0.0, PI) - PI).abs() < 1e-5);
+    }
+
+    #[test]
+    fn zero_strength_paints_nothing_systematic() {
+        let cfg = GenConfig::new(32).with_pattern_strength(0.0).with_background_fail_rate(0.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for class in [DefectClass::Center, DefectClass::Donut, DefectClass::EdgeRing] {
+            let map = super::super::generate(class, &cfg, &mut rng);
+            assert_eq!(map.fail_count(), 0, "{class} painted at zero strength");
+        }
+    }
+
+    #[test]
+    fn location_blob_is_off_centre() {
+        let cfg = GenConfig::new(32).with_background_fail_rate(0.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut off_centre = 0;
+        let trials = 20;
+        for _ in 0..trials {
+            let map = super::super::generate(DefectClass::Location, &cfg, &mut rng);
+            let (cx, cy) = map.center();
+            // Centroid of failures.
+            let fails: Vec<(f32, f32)> = map
+                .iter_on_wafer()
+                .filter(|(_, _, d)| d.is_fail())
+                .map(|(x, y, _)| (x as f32, y as f32))
+                .collect();
+            if fails.is_empty() {
+                continue;
+            }
+            let mx = fails.iter().map(|f| f.0).sum::<f32>() / fails.len() as f32;
+            let my = fails.iter().map(|f| f.1).sum::<f32>() / fails.len() as f32;
+            let d = ((mx - cx).powi(2) + (my - cy).powi(2)).sqrt();
+            if d > map.radius() * 0.15 {
+                off_centre += 1;
+            }
+        }
+        assert!(off_centre >= trials * 3 / 4, "location blobs centred: {off_centre}/{trials}");
+    }
+
+    #[test]
+    fn scratch_stays_on_wafer() {
+        let cfg = GenConfig::new(24).with_background_fail_rate(0.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let map = super::super::generate(DefectClass::Scratch, &cfg, &mut rng);
+            // All failures must be on-wafer by construction.
+            assert_eq!(
+                map.fail_count(),
+                map.iter_on_wafer().filter(|(_, _, d)| d.is_fail()).count()
+            );
+        }
+    }
+
+    #[test]
+    fn background_rate_sprinkles_roughly_proportionally() {
+        let mut map = WaferMap::blank(48, 48);
+        let mut rng = StdRng::seed_from_u64(5);
+        sprinkle_background(&mut map, 0.1, &mut rng);
+        let expected = map.on_wafer_count() as f32 * 0.1;
+        let got = map.fail_count() as f32;
+        assert!((got - expected).abs() < expected * 0.5, "expected ~{expected}, got {got}");
+    }
+}

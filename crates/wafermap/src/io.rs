@@ -1,0 +1,270 @@
+//! Export wafer maps for visual inspection: binary PGM images (the
+//! format used to eyeball Fig. 1 and Fig. 4 reproductions) and a
+//! compact ASCII rendering for terminals and test failure output.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::{Die, WaferMap};
+
+/// Write a wafer map as a binary PGM (P5) image using the WM-811K
+/// pixel levels (0 / 127 / 255), magnified by `scale` so small die
+/// grids remain visible in image viewers.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+///
+/// # Panics
+///
+/// Panics if `scale == 0`.
+///
+/// # Example
+///
+/// ```no_run
+/// use wafermap::{io::write_pgm, WaferMap};
+///
+/// # fn main() -> std::io::Result<()> {
+/// let map = WaferMap::blank(32, 32);
+/// let mut buf = Vec::new();
+/// write_pgm(&map, 4, &mut buf)?;
+/// assert!(buf.starts_with(b"P5"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_pgm<W: Write>(map: &WaferMap, scale: usize, mut writer: W) -> io::Result<()> {
+    assert!(scale > 0, "scale must be non-zero");
+    let w = map.width() * scale;
+    let h = map.height() * scale;
+    write!(writer, "P5\n{w} {h}\n255\n")?;
+    let mut row = Vec::with_capacity(w);
+    for y in 0..map.height() {
+        row.clear();
+        for x in 0..map.width() {
+            let level = map.get(x, y).pixel_level();
+            for _ in 0..scale {
+                row.push(level);
+            }
+        }
+        for _ in 0..scale {
+            writer.write_all(&row)?;
+        }
+    }
+    Ok(())
+}
+
+/// Write a wafer map to a PGM file at `path` (see [`write_pgm`]).
+///
+/// # Errors
+///
+/// Propagates file-creation and write errors.
+pub fn save_pgm<P: AsRef<Path>>(map: &WaferMap, scale: usize, path: P) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_pgm(map, scale, io::BufWriter::new(file))
+}
+
+/// Render a wafer map as ASCII art: `' '` off-wafer, `'.'` pass,
+/// `'#'` fail. One line per die row.
+///
+/// # Example
+///
+/// ```
+/// use wafermap::{io::to_ascii, Die, WaferMap};
+///
+/// let mut map = WaferMap::blank(8, 8);
+/// map.set(4, 4, Die::Fail);
+/// let art = to_ascii(&map);
+/// assert!(art.contains('#'));
+/// assert_eq!(art.lines().count(), 8);
+/// ```
+#[must_use]
+pub fn to_ascii(map: &WaferMap) -> String {
+    let mut out = String::with_capacity((map.width() + 1) * map.height());
+    for y in 0..map.height() {
+        for x in 0..map.width() {
+            out.push(match map.get(x, y) {
+                Die::OffWafer => ' ',
+                Die::Pass => '.',
+                Die::Fail => '#',
+            });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a dataset as CSV for interchange with Python tooling (or to
+/// import the *real* WM-811K after converting it with a few lines of
+/// pandas). One row per wafer:
+///
+/// ```text
+/// label,width,height,dies
+/// Edge-Ring,3,3,012112210
+/// ```
+///
+/// where `dies` is the row-major grid with `0` = off-wafer, `1` =
+/// pass, `2` = fail (WM-811K's own integer encoding).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_csv<W: Write>(dataset: &crate::Dataset, mut writer: W) -> io::Result<()> {
+    writeln!(writer, "label,width,height,dies")?;
+    for sample in dataset {
+        let mut dies = String::with_capacity(sample.map.len());
+        for die in sample.map.dies() {
+            dies.push(match die {
+                Die::OffWafer => '0',
+                Die::Pass => '1',
+                Die::Fail => '2',
+            });
+        }
+        writeln!(
+            writer,
+            "{},{},{},{dies}",
+            sample.label.name(),
+            sample.map.width(),
+            sample.map.height()
+        )?;
+    }
+    Ok(())
+}
+
+/// Read a dataset written by [`write_csv`] (or converted from the real
+/// WM-811K). All wafers must share one square grid size; the paper's
+/// pipeline rescales maps to a common size before training.
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] (kind `InvalidData`) on malformed rows,
+/// unknown labels, inconsistent grids, or non-square maps.
+pub fn read_csv<R: io::BufRead>(reader: R) -> io::Result<crate::Dataset> {
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let mut dataset: Option<crate::Dataset> = None;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if lineno == 0 || line.trim().is_empty() {
+            continue; // header / blank
+        }
+        let mut parts = line.splitn(4, ',');
+        let label: crate::DefectClass = parts
+            .next()
+            .ok_or_else(|| bad(format!("line {lineno}: missing label")))?
+            .parse()
+            .map_err(|e| bad(format!("line {lineno}: {e}")))?;
+        let width: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad(format!("line {lineno}: bad width")))?;
+        let height: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad(format!("line {lineno}: bad height")))?;
+        let dies_str = parts.next().ok_or_else(|| bad(format!("line {lineno}: missing dies")))?;
+        if width != height {
+            return Err(bad(format!("line {lineno}: non-square {width}x{height} map")));
+        }
+        let mut dies = Vec::with_capacity(width * height);
+        for ch in dies_str.trim().chars() {
+            dies.push(match ch {
+                '0' => Die::OffWafer,
+                '1' => Die::Pass,
+                '2' => Die::Fail,
+                other => return Err(bad(format!("line {lineno}: bad die char {other:?}"))),
+            });
+        }
+        let map = WaferMap::from_dies(width, height, dies)
+            .map_err(|e| bad(format!("line {lineno}: {e}")))?;
+        let ds = dataset.get_or_insert_with(|| crate::Dataset::new(width));
+        if ds.grid() != width {
+            return Err(bad(format!(
+                "line {lineno}: grid {width} differs from first wafer's {}",
+                ds.grid()
+            )));
+        }
+        ds.push(crate::Sample::original(map, label));
+    }
+    dataset.ok_or_else(|| bad("csv contained no wafers".to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pgm_header_and_size_are_correct() {
+        let map = WaferMap::blank(10, 10);
+        let mut buf = Vec::new();
+        write_pgm(&map, 3, &mut buf).expect("write to vec");
+        let header_end = buf.windows(4).position(|w| w == b"255\n").expect("header") + 4;
+        assert_eq!(&buf[..3], b"P5\n");
+        assert_eq!(buf.len() - header_end, 30 * 30);
+    }
+
+    #[test]
+    fn pgm_uses_canonical_levels_only() {
+        let mut map = WaferMap::blank(8, 8);
+        map.set(4, 4, Die::Fail);
+        let mut buf = Vec::new();
+        write_pgm(&map, 1, &mut buf).expect("write to vec");
+        let header_end = buf.windows(4).position(|w| w == b"255\n").expect("header") + 4;
+        for &b in &buf[header_end..] {
+            assert!(b == 0 || b == 127 || b == 255, "bad pixel {b}");
+        }
+    }
+
+    #[test]
+    fn ascii_marks_fail_locations() {
+        let mut map = WaferMap::blank(6, 6);
+        map.set(3, 3, Die::Fail);
+        let art = to_ascii(&map);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines[3].as_bytes()[3], b'#');
+    }
+
+    #[test]
+    fn ascii_corner_is_off_wafer() {
+        let map = WaferMap::blank(12, 12);
+        let art = to_ascii(&map);
+        assert_eq!(art.as_bytes()[0], b' ');
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_dataset() {
+        let (train, _) = crate::gen::SyntheticWm811k::new(8).scale(0.0005).seed(3).build();
+        let mut buf = Vec::new();
+        write_csv(&train, &mut buf).expect("write csv");
+        let back = read_csv(io::BufReader::new(buf.as_slice())).expect("read csv");
+        assert_eq!(back.len(), train.len());
+        for (a, b) in back.iter().zip(train.iter()) {
+            assert_eq!(a.map, b.map);
+            assert_eq!(a.label, b.label);
+        }
+    }
+
+    #[test]
+    fn csv_rejects_malformed_rows() {
+        let no_wafers = "label,width,height,dies\n";
+        assert!(read_csv(io::BufReader::new(no_wafers.as_bytes())).is_err());
+        let bad_label = "label,width,height,dies\nNotAClass,2,2,1111\n";
+        assert!(read_csv(io::BufReader::new(bad_label.as_bytes())).is_err());
+        let bad_die = "label,width,height,dies\nDonut,2,2,1119\n";
+        assert!(read_csv(io::BufReader::new(bad_die.as_bytes())).is_err());
+        let wrong_len = "label,width,height,dies\nDonut,2,2,111\n";
+        assert!(read_csv(io::BufReader::new(wrong_len.as_bytes())).is_err());
+        let non_square = "label,width,height,dies\nDonut,2,3,111111\n";
+        assert!(read_csv(io::BufReader::new(non_square.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn csv_parses_wm811k_integer_encoding() {
+        let csv = "label,width,height,dies\nEdge-Ring,3,3,012112210\n";
+        let ds = read_csv(io::BufReader::new(csv.as_bytes())).expect("parse");
+        assert_eq!(ds.len(), 1);
+        let map = &ds.samples()[0].map;
+        assert_eq!(map.get(0, 0), Die::OffWafer);
+        assert_eq!(map.get(1, 0), Die::Pass);
+        assert_eq!(map.get(2, 0), Die::Fail);
+        assert_eq!(map.fail_count(), 3);
+    }
+}

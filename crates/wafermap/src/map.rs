@@ -1,0 +1,330 @@
+use serde::{Deserialize, Serialize};
+
+use crate::Die;
+
+/// A wafer map: a rectangular die grid with a circular wafer region.
+///
+/// Locations outside the inscribed circle are [`Die::OffWafer`]; dies
+/// inside are [`Die::Pass`] or [`Die::Fail`]. The grid is square in
+/// practice (WM-811K maps are near-square), but width and height are
+/// tracked independently.
+///
+/// # Example
+///
+/// ```
+/// use wafermap::{Die, WaferMap};
+///
+/// let mut map = WaferMap::blank(16, 16);
+/// assert!(map.get(8, 8).is_on_wafer());
+/// assert_eq!(map.get(0, 0), Die::OffWafer);
+/// map.set(8, 8, Die::Fail);
+/// assert_eq!(map.fail_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WaferMap {
+    width: usize,
+    height: usize,
+    dies: Vec<Die>,
+}
+
+impl WaferMap {
+    /// Create an all-pass wafer: dies inside the inscribed circle are
+    /// [`Die::Pass`], the rest [`Die::OffWafer`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is zero.
+    #[must_use]
+    pub fn blank(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "wafer dimensions must be non-zero");
+        let mut map = WaferMap { width, height, dies: vec![Die::OffWafer; width * height] };
+        let (cx, cy) = map.center();
+        let radius = map.radius();
+        for y in 0..height {
+            for x in 0..width {
+                let dx = x as f32 - cx;
+                let dy = y as f32 - cy;
+                if (dx * dx + dy * dy).sqrt() <= radius {
+                    map.dies[y * width + x] = Die::Pass;
+                }
+            }
+        }
+        map
+    }
+
+    /// Build a wafer map from an explicit die grid in row-major order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `dies.len() != width * height` or either
+    /// dimension is zero.
+    pub fn from_dies(width: usize, height: usize, dies: Vec<Die>) -> Result<Self, ShapeError> {
+        if width == 0 || height == 0 || dies.len() != width * height {
+            return Err(ShapeError { width, height, len: dies.len() });
+        }
+        Ok(WaferMap { width, height, dies })
+    }
+
+    /// Grid width in dies.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Grid height in dies.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total number of grid locations (`width * height`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.dies.len()
+    }
+
+    /// Whether the grid is empty (never true for a constructed map).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.dies.is_empty()
+    }
+
+    /// Centre of the wafer in grid coordinates.
+    #[must_use]
+    pub fn center(&self) -> (f32, f32) {
+        ((self.width as f32 - 1.0) / 2.0, (self.height as f32 - 1.0) / 2.0)
+    }
+
+    /// Radius of the inscribed wafer circle in die units.
+    #[must_use]
+    pub fn radius(&self) -> f32 {
+        (self.width.min(self.height) as f32 - 1.0) / 2.0 + 0.4
+    }
+
+    /// Die state at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(x, y)` is out of bounds.
+    #[must_use]
+    pub fn get(&self, x: usize, y: usize) -> Die {
+        assert!(x < self.width && y < self.height, "die index out of bounds");
+        self.dies[y * self.width + x]
+    }
+
+    /// Set the die state at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(x, y)` is out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, die: Die) {
+        assert!(x < self.width && y < self.height, "die index out of bounds");
+        self.dies[y * self.width + x] = die;
+    }
+
+    /// Mark the die at `(x, y)` as failed, if it is on the wafer.
+    /// Off-wafer locations are left untouched, which lets pattern
+    /// generators paint freely without clipping logic.
+    pub fn fail_if_on_wafer(&mut self, x: usize, y: usize) {
+        if x < self.width && y < self.height && self.dies[y * self.width + x].is_on_wafer() {
+            self.dies[y * self.width + x] = Die::Fail;
+        }
+    }
+
+    /// Row-major slice of all dies.
+    #[must_use]
+    pub fn dies(&self) -> &[Die] {
+        &self.dies
+    }
+
+    /// Number of dies on the wafer (pass + fail).
+    #[must_use]
+    pub fn on_wafer_count(&self) -> usize {
+        self.dies.iter().filter(|d| d.is_on_wafer()).count()
+    }
+
+    /// Number of failing dies.
+    #[must_use]
+    pub fn fail_count(&self) -> usize {
+        self.dies.iter().filter(|d| d.is_fail()).count()
+    }
+
+    /// Fraction of on-wafer dies that fail, in `[0, 1]`. Returns 0 for
+    /// a map with no on-wafer dies.
+    #[must_use]
+    pub fn fail_ratio(&self) -> f32 {
+        let on = self.on_wafer_count();
+        if on == 0 {
+            0.0
+        } else {
+            self.fail_count() as f32 / on as f32
+        }
+    }
+
+    /// Normalized image representation: one `f32` per grid location in
+    /// row-major order, with off-wafer = 0.0, pass = 0.5, fail = 1.0.
+    /// This is the tensor fed to the CNN.
+    #[must_use]
+    pub fn to_image(&self) -> Vec<f32> {
+        self.dies.iter().map(|d| d.intensity()).collect()
+    }
+
+    /// Reconstruct a wafer map from a continuous image by quantizing
+    /// each value to the nearest of the three die levels (the
+    /// quantization step of Algorithm 1, line 7).
+    ///
+    /// The circular wafer `mask` of `reference` is re-imposed: a
+    /// location that is off-wafer in `reference` stays off-wafer, and a
+    /// location on the wafer is never quantized to off-wafer (it snaps
+    /// to pass when the decoder output is low).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `image.len()` does not match the reference
+    /// grid size.
+    pub fn from_image_masked(image: &[f32], reference: &WaferMap) -> Result<Self, ShapeError> {
+        if image.len() != reference.len() {
+            return Err(ShapeError {
+                width: reference.width,
+                height: reference.height,
+                len: image.len(),
+            });
+        }
+        let dies = reference
+            .dies
+            .iter()
+            .zip(image)
+            .map(|(&ref_die, &v)| {
+                if !ref_die.is_on_wafer() {
+                    Die::OffWafer
+                } else {
+                    match Die::from_intensity(v) {
+                        Die::OffWafer => Die::Pass,
+                        d => d,
+                    }
+                }
+            })
+            .collect();
+        Ok(WaferMap { width: reference.width, height: reference.height, dies })
+    }
+
+    /// Iterate over `(x, y, die)` for all on-wafer locations.
+    pub fn iter_on_wafer(&self) -> impl Iterator<Item = (usize, usize, Die)> + '_ {
+        let width = self.width;
+        self.dies
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_on_wafer())
+            .map(move |(i, &d)| (i % width, i / width, d))
+    }
+}
+
+/// Error for mismatched grid dimensions when constructing a
+/// [`WaferMap`] from raw data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    width: usize,
+    height: usize,
+    len: usize,
+}
+
+impl std::fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "data length {} does not match {}x{} wafer grid",
+            self.len, self.width, self.height
+        )
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blank_wafer_is_circular() {
+        let map = WaferMap::blank(20, 20);
+        // Corners off-wafer, centre on-wafer.
+        assert_eq!(map.get(0, 0), Die::OffWafer);
+        assert_eq!(map.get(19, 19), Die::OffWafer);
+        assert!(map.get(10, 10).is_on_wafer());
+        // The circle should cover most of π r² ≈ 0.785 of the grid.
+        let ratio = map.on_wafer_count() as f32 / map.len() as f32;
+        assert!(ratio > 0.7 && ratio < 0.85, "unexpected wafer area ratio {ratio}");
+    }
+
+    #[test]
+    fn blank_wafer_has_no_failures() {
+        let map = WaferMap::blank(16, 16);
+        assert_eq!(map.fail_count(), 0);
+        assert_eq!(map.fail_ratio(), 0.0);
+    }
+
+    #[test]
+    fn from_dies_validates_shape() {
+        assert!(WaferMap::from_dies(4, 4, vec![Die::Pass; 16]).is_ok());
+        assert!(WaferMap::from_dies(4, 4, vec![Die::Pass; 15]).is_err());
+        assert!(WaferMap::from_dies(0, 4, vec![]).is_err());
+    }
+
+    #[test]
+    fn fail_if_on_wafer_skips_off_wafer_and_out_of_bounds() {
+        let mut map = WaferMap::blank(16, 16);
+        map.fail_if_on_wafer(0, 0); // off-wafer corner
+        map.fail_if_on_wafer(100, 100); // out of bounds: no panic
+        assert_eq!(map.fail_count(), 0);
+        map.fail_if_on_wafer(8, 8);
+        assert_eq!(map.fail_count(), 1);
+    }
+
+    #[test]
+    fn image_roundtrip_preserves_map() {
+        let mut map = WaferMap::blank(12, 12);
+        map.set(6, 6, Die::Fail);
+        map.set(5, 6, Die::Fail);
+        let image = map.to_image();
+        let back = WaferMap::from_image_masked(&image, &map).expect("same shape");
+        assert_eq!(back, map);
+    }
+
+    #[test]
+    fn from_image_masked_reimposes_wafer_mask() {
+        let map = WaferMap::blank(8, 8);
+        // An all-fail image: off-wafer locations must stay off-wafer.
+        let image = vec![1.0; map.len()];
+        let back = WaferMap::from_image_masked(&image, &map).expect("same shape");
+        assert_eq!(back.on_wafer_count(), map.on_wafer_count());
+        assert_eq!(back.fail_count(), map.on_wafer_count());
+        // A low-intensity image on-wafer snaps to Pass, not OffWafer.
+        let dark = vec![0.1; map.len()];
+        let back = WaferMap::from_image_masked(&dark, &map).expect("same shape");
+        assert_eq!(back.fail_count(), 0);
+        assert_eq!(back.on_wafer_count(), map.on_wafer_count());
+    }
+
+    #[test]
+    fn from_image_masked_rejects_wrong_len() {
+        let map = WaferMap::blank(8, 8);
+        assert!(WaferMap::from_image_masked(&[0.0; 3], &map).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_panics_out_of_bounds() {
+        let map = WaferMap::blank(8, 8);
+        let _ = map.get(8, 0);
+    }
+
+    #[test]
+    fn iter_on_wafer_agrees_with_counts() {
+        let mut map = WaferMap::blank(10, 10);
+        map.set(5, 5, Die::Fail);
+        let n = map.iter_on_wafer().count();
+        assert_eq!(n, map.on_wafer_count());
+        let fails = map.iter_on_wafer().filter(|(_, _, d)| d.is_fail()).count();
+        assert_eq!(fails, 1);
+    }
+}

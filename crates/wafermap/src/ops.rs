@@ -1,0 +1,295 @@
+//! Image operations on wafer maps: rotation, salt-and-pepper noise and
+//! quantization helpers used by the paper's data-augmentation
+//! Algorithm 1.
+
+use rand::Rng;
+
+use crate::{Die, WaferMap};
+
+/// Rotate a wafer map by `degrees` (counter-clockwise) about the wafer
+/// centre using nearest-neighbour sampling, then re-impose the circular
+/// wafer mask of the input.
+///
+/// Algorithm 1 rotates each synthetic image by `i * 360 / n_r`; because
+/// the wafer is circular, rotation keeps the map physically plausible.
+/// Destination dies whose source falls off-grid or off-wafer become
+/// [`Die::Pass`] (background), mirroring how WM-811K renders rotated
+/// wafers.
+///
+/// # Example
+///
+/// ```
+/// use wafermap::{ops::rotate, Die, WaferMap};
+///
+/// let mut map = WaferMap::blank(17, 17);
+/// map.set(8, 2, Die::Fail); // north of centre
+/// let quarter = rotate(&map, 90.0);
+/// assert_eq!(quarter.fail_count(), 1);
+/// assert_eq!(quarter.get(14, 8), Die::Fail); // now east of centre
+/// ```
+#[must_use]
+pub fn rotate(map: &WaferMap, degrees: f32) -> WaferMap {
+    let radians = degrees.to_radians();
+    let (sin, cos) = radians.sin_cos();
+    let (cx, cy) = map.center();
+    let mut out = WaferMap::blank(map.width(), map.height());
+    for y in 0..map.height() {
+        for x in 0..map.width() {
+            if !out.get(x, y).is_on_wafer() {
+                continue;
+            }
+            // Inverse rotation: sample the source location that maps
+            // onto (x, y) under a CCW rotation by `degrees`.
+            let dx = x as f32 - cx;
+            let dy = y as f32 - cy;
+            let sx = (cos * dx + sin * dy + cx).round();
+            let sy = (-sin * dx + cos * dy + cy).round();
+            let die = if sx >= 0.0
+                && sy >= 0.0
+                && (sx as usize) < map.width()
+                && (sy as usize) < map.height()
+            {
+                match map.get(sx as usize, sy as usize) {
+                    Die::OffWafer => Die::Pass,
+                    d => d,
+                }
+            } else {
+                Die::Pass
+            };
+            out.set(x, y, die);
+        }
+    }
+    out
+}
+
+/// Add salt-and-pepper noise: flip approximately `rate * on_wafer_count`
+/// randomly chosen on-wafer dies from pass to fail or vice versa
+/// (Algorithm 1, line 9).
+///
+/// `rate` is clamped to `[0, 1]`. Off-wafer locations are never
+/// touched, so the wafer mask is preserved.
+///
+/// # Example
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use wafermap::{ops::salt_and_pepper, WaferMap};
+///
+/// let map = WaferMap::blank(24, 24);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let noisy = salt_and_pepper(&map, 0.02, &mut rng);
+/// assert!(noisy.fail_count() > 0);
+/// assert_eq!(noisy.on_wafer_count(), map.on_wafer_count());
+/// ```
+#[must_use]
+pub fn salt_and_pepper<R: Rng + ?Sized>(map: &WaferMap, rate: f32, rng: &mut R) -> WaferMap {
+    let rate = rate.clamp(0.0, 1.0);
+    let mut out = map.clone();
+    let coords: Vec<(usize, usize)> = map.iter_on_wafer().map(|(x, y, _)| (x, y)).collect();
+    let flips = ((coords.len() as f32) * rate).round() as usize;
+    for _ in 0..flips {
+        let (x, y) = coords[rng.gen_range(0..coords.len())];
+        let die = out.get(x, y);
+        out.set(x, y, die.flipped());
+    }
+    out
+}
+
+/// Quantize a continuous image (e.g. an auto-encoder reconstruction)
+/// back to a valid three-level wafer map, using `reference` for the
+/// circular mask (Algorithm 1, line 7).
+///
+/// This is a convenience re-export of [`WaferMap::from_image_masked`]
+/// under the name the paper uses.
+///
+/// # Errors
+///
+/// Returns an error if `image.len()` does not match the reference grid.
+pub fn quantize(
+    image: &[f32],
+    reference: &WaferMap,
+) -> Result<WaferMap, crate::map::ShapeError> {
+    WaferMap::from_image_masked(image, reference)
+}
+
+/// Mirror a wafer map horizontally (about the vertical axis through
+/// the wafer centre). Because the wafer is circular, the mask maps
+/// onto itself and the result is a valid wafer.
+///
+/// # Example
+///
+/// ```
+/// use wafermap::{ops::flip_horizontal, Die, WaferMap};
+///
+/// let mut map = WaferMap::blank(9, 9);
+/// map.set(1, 4, Die::Fail);
+/// let flipped = flip_horizontal(&map);
+/// assert_eq!(flipped.get(7, 4), Die::Fail);
+/// ```
+#[must_use]
+pub fn flip_horizontal(map: &WaferMap) -> WaferMap {
+    let w = map.width();
+    let h = map.height();
+    let mut out = map.clone();
+    for y in 0..h {
+        for x in 0..w {
+            out.set(x, y, map.get(w - 1 - x, y));
+        }
+    }
+    out
+}
+
+/// Mirror a wafer map vertically (about the horizontal axis through
+/// the wafer centre).
+#[must_use]
+pub fn flip_vertical(map: &WaferMap) -> WaferMap {
+    let w = map.width();
+    let h = map.height();
+    let mut out = map.clone();
+    for y in 0..h {
+        for x in 0..w {
+            out.set(x, y, map.get(x, h - 1 - y));
+        }
+    }
+    out
+}
+
+/// Fraction of on-wafer dies on which two maps disagree. Useful for
+/// measuring how far a synthetic sample drifted from its source.
+///
+/// # Panics
+///
+/// Panics if the two maps have different grid dimensions.
+#[must_use]
+pub fn die_disagreement(a: &WaferMap, b: &WaferMap) -> f32 {
+    assert_eq!(a.width(), b.width(), "maps must share a grid");
+    assert_eq!(a.height(), b.height(), "maps must share a grid");
+    let mut on = 0usize;
+    let mut differ = 0usize;
+    for (da, db) in a.dies().iter().zip(b.dies()) {
+        if da.is_on_wafer() && db.is_on_wafer() {
+            on += 1;
+            if da != db {
+                differ += 1;
+            }
+        }
+    }
+    if on == 0 {
+        0.0
+    } else {
+        differ as f32 / on as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn rotate_zero_is_identity_on_wafer() {
+        let mut map = WaferMap::blank(15, 15);
+        map.set(7, 3, Die::Fail);
+        map.set(4, 9, Die::Fail);
+        let same = rotate(&map, 0.0);
+        assert_eq!(die_disagreement(&map, &same), 0.0);
+    }
+
+    #[test]
+    fn rotate_full_circle_is_identity() {
+        let mut map = WaferMap::blank(21, 21);
+        map.set(10, 4, Die::Fail);
+        let back = rotate(&map, 360.0);
+        assert_eq!(die_disagreement(&map, &back), 0.0);
+    }
+
+    #[test]
+    fn rotate_preserves_mask_and_approx_fail_count() {
+        let mut map = WaferMap::blank(25, 25);
+        for x in 10..15 {
+            for y in 10..15 {
+                map.set(x, y, Die::Fail);
+            }
+        }
+        let rot = rotate(&map, 45.0);
+        assert_eq!(rot.on_wafer_count(), map.on_wafer_count());
+        let delta = (rot.fail_count() as i64 - map.fail_count() as i64).abs();
+        assert!(delta <= 6, "rotation changed fail count too much: {delta}");
+    }
+
+    #[test]
+    fn four_quarter_turns_compose_to_identity() {
+        let mut map = WaferMap::blank(19, 19);
+        map.set(9, 2, Die::Fail);
+        map.set(12, 6, Die::Fail);
+        let mut cur = map.clone();
+        for _ in 0..4 {
+            cur = rotate(&cur, 90.0);
+        }
+        assert_eq!(die_disagreement(&map, &cur), 0.0);
+    }
+
+    #[test]
+    fn salt_and_pepper_zero_rate_is_identity() {
+        let map = WaferMap::blank(16, 16);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(salt_and_pepper(&map, 0.0, &mut rng), map);
+    }
+
+    #[test]
+    fn salt_and_pepper_rate_scales_flips() {
+        let map = WaferMap::blank(32, 32);
+        let mut rng = StdRng::seed_from_u64(3);
+        let noisy = salt_and_pepper(&map, 0.05, &mut rng);
+        let expected = (map.on_wafer_count() as f32 * 0.05).round() as usize;
+        // All flips start from Pass so each distinct flip produces one
+        // Fail; collisions can only reduce the count.
+        assert!(noisy.fail_count() <= expected);
+        assert!(noisy.fail_count() >= expected / 2);
+    }
+
+    #[test]
+    fn salt_and_pepper_clamps_rate() {
+        let map = WaferMap::blank(8, 8);
+        let mut rng = StdRng::seed_from_u64(3);
+        let noisy = salt_and_pepper(&map, 42.0, &mut rng);
+        assert_eq!(noisy.on_wafer_count(), map.on_wafer_count());
+    }
+
+    #[test]
+    fn disagreement_is_zero_for_identical_maps() {
+        let map = WaferMap::blank(10, 10);
+        assert_eq!(die_disagreement(&map, &map), 0.0);
+    }
+
+    #[test]
+    fn flips_are_involutions() {
+        let mut map = WaferMap::blank(11, 11);
+        map.set(2, 3, Die::Fail);
+        map.set(7, 8, Die::Fail);
+        assert_eq!(flip_horizontal(&flip_horizontal(&map)), map);
+        assert_eq!(flip_vertical(&flip_vertical(&map)), map);
+    }
+
+    #[test]
+    fn flips_preserve_mask_and_fail_count() {
+        let mut map = WaferMap::blank(14, 14);
+        map.fail_if_on_wafer(4, 5);
+        map.fail_if_on_wafer(9, 2);
+        for f in [flip_horizontal(&map), flip_vertical(&map)] {
+            assert_eq!(f.on_wafer_count(), map.on_wafer_count());
+            assert_eq!(f.fail_count(), map.fail_count());
+        }
+    }
+
+    #[test]
+    fn double_flip_equals_half_turn() {
+        let mut map = WaferMap::blank(13, 13);
+        map.set(3, 6, Die::Fail);
+        let hv = flip_vertical(&flip_horizontal(&map));
+        let rot = rotate(&map, 180.0);
+        assert_eq!(die_disagreement(&hv, &rot), 0.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: generate a synthetic WM-811K-style dataset, balance it
+//! with auto-encoder augmentation, train a selective model, and
+//! evaluate both full-coverage and selective operation.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use wm_dsl::prelude::*;
+
+fn main() {
+    // 1. Data: 1% of the paper's WM-811K mixture on a 32x32 die grid.
+    //    The class imbalance (None dominates) matches Table II.
+    println!("generating synthetic WM-811K mixture ...");
+    let (train_raw, test) = SyntheticWm811k::new(32).scale(0.01).seed(7).build();
+    println!("  train: {} wafers, test: {} wafers", train_raw.len(), test.len());
+    for class in DefectClass::ALL {
+        print!("  {}: {}", class.name(), train_raw.class_counts()[class.index()]);
+    }
+    println!();
+
+    // 2. Balance the defect classes with Algorithm 1 (conv
+    //    auto-encoder + latent perturbation + rotation + s&p noise).
+    println!("\nbalancing with auto-encoder augmentation ...");
+    let augmenter = Augmenter::new(
+        AugmentConfig::new(80).with_channels([8, 8, 8]).with_ae_epochs(6),
+        13,
+    );
+    let train = augmenter.balance(&train_raw);
+    println!("  after augmentation: {} wafers", train.len());
+
+    // 3. Train the two-head selective CNN at a 50% coverage target.
+    println!("\ntraining selective model (c0 = 0.5) ...");
+    let config = SelectiveConfig::for_grid(32).with_conv_channels([16, 16, 16]).with_fc(64);
+    let mut model = SelectiveModel::new(&config, 99);
+    let report = Trainer::new(TrainConfig {
+        epochs: 8,
+        batch_size: 32,
+        learning_rate: 2e-3,
+        target_coverage: 0.5,
+        ..TrainConfig::default()
+    })
+    .run(&mut model, &train);
+    for stats in &report.epochs {
+        println!(
+            "  epoch {:>2}: loss {:.4}  coverage {:.2}  accuracy {:.2}",
+            stats.epoch, stats.loss, stats.coverage, stats.accuracy
+        );
+    }
+
+    // 4. Evaluate with the reject option.
+    let metrics = model.evaluate(&test, 0.5);
+    println!("\nselective evaluation on {} held-out wafers:", test.len());
+    println!("  coverage            = {:.1}%", metrics.coverage() * 100.0);
+    println!("  selective accuracy  = {:.1}%", metrics.selective_accuracy() * 100.0);
+    println!("  selective risk      = {:.3}", metrics.selective_risk());
+    println!("\nper-class coverage (samples the model chose to label):");
+    for class in DefectClass::ALL {
+        println!(
+            "  {:>10}: {:>4} of {:>4} ({:.0}%)",
+            class.name(),
+            metrics.class_selected(class.index()),
+            test.class_counts()[class.index()],
+            metrics.class_coverage(class.index()) * 100.0
+        );
+    }
+}

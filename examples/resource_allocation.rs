@@ -1,0 +1,63 @@
+//! Resource allocation with a human in the loop (paper Section IV-D,
+//! application (ii)): the model labels the easy majority of wafers and
+//! routes only the risky ones to engineers, and the engineer "budget"
+//! is steered with the coverage target / threshold calibration.
+//!
+//! Run with `cargo run --release --example resource_allocation`.
+
+use wm_dsl::prelude::*;
+
+fn main() {
+    let (train, test) = SyntheticWm811k::new(32).scale(0.008).seed(5).build();
+    println!("training selective model on {} wafers ...", train.len());
+    let config = SelectiveConfig::for_grid(32).with_conv_channels([16, 16, 16]).with_fc(64);
+    let mut model = SelectiveModel::new(&config, 1);
+    let _ = Trainer::new(TrainConfig {
+        epochs: 8,
+        batch_size: 32,
+        learning_rate: 2e-3,
+        target_coverage: 0.75,
+        ..TrainConfig::default()
+    })
+    .run(&mut model, &train);
+
+    // An engineering team can manually inspect only `budget` wafers
+    // per lot. Calibrate the selection threshold so the model passes
+    // exactly that many to the humans.
+    let budget = test.len() / 10;
+    let scores = model.selection_scores(&test);
+    let target_coverage = 1.0 - (budget as f64 / test.len() as f64);
+    let tau = selective::calibrate_threshold(&scores, target_coverage);
+    println!(
+        "engineer budget: {budget} of {} wafers -> calibrated threshold τ = {tau:.3}",
+        test.len()
+    );
+
+    let metrics = model.evaluate(&test, tau);
+    let routed = metrics.total() - metrics.selected_count();
+    println!("\nmodel keeps      : {} wafers", metrics.selected_count());
+    println!("routed to humans : {routed} wafers (budget {budget})");
+    println!(
+        "accuracy on the wafers the model kept: {:.1}%",
+        metrics.selective_accuracy() * 100.0
+    );
+
+    // Which classes end up with the engineers? Mostly the rare/hard
+    // ones — exactly the wafers worth an expert's time.
+    println!("\nabstention rate by class (share routed to engineers):");
+    for class in DefectClass::ALL {
+        let idx = class.index();
+        let total = test.class_counts()[idx];
+        if total == 0 {
+            continue;
+        }
+        let routed_class = total as u64 - metrics.class_selected(idx);
+        println!(
+            "  {:>10}: {:>5.1}%  ({} of {})",
+            class.name(),
+            100.0 * routed_class as f64 / total as f64,
+            routed_class,
+            total
+        );
+    }
+}

@@ -1,0 +1,19 @@
+#!/bin/bash
+# Regenerate every table and figure of the paper, plus the ablations.
+# Outputs: results/*.json + results/experiments.log
+# Env knobs: SCALE (default 0.02), GRID (16), EPOCHS (30).
+set -u
+cd "$(dirname "$0")"
+SCALE=${SCALE:-0.02}
+GRID=${GRID:-16}
+EPOCHS=${EPOCHS:-30}
+LOG=results/experiments.log
+: > "$LOG"
+for exp in fig1 fig4 table2 table3 fig5 table4 concept_shift_exp section4a \
+           ablation_augment ablation_aux ablation_features lambda_sweep; do
+  echo "=== $exp (scale $SCALE grid $GRID epochs $EPOCHS) ===" | tee -a "$LOG"
+  cargo run -p wm-bench --bin "$exp" --release -- \
+    --scale "$SCALE" --grid "$GRID" --epochs "$EPOCHS" --out results >> "$LOG" 2>&1
+  echo "--- $exp done (exit $?) ---" | tee -a "$LOG"
+done
+echo ALL-EXPERIMENTS-DONE | tee -a "$LOG"

@@ -1,0 +1,53 @@
+//! # wm-dsl — Wafer Map Defect Classification with Deep Selective Learning
+//!
+//! A Rust reproduction of Alawieh, Boning and Pan, *"Wafer Map Defect
+//! Patterns Classification using Deep Selective Learning"* (DAC 2020).
+//!
+//! This meta-crate re-exports the workspace members so downstream code
+//! can depend on a single crate:
+//!
+//! - [`wafermap`] — wafer-map data structures and a synthetic
+//!   WM-811K-style defect generator.
+//! - [`nn`] — the CPU deep-learning substrate (tensors, conv layers,
+//!   Adam, manual backprop).
+//! - [`selective`] — the paper's contribution: a two-head CNN with an
+//!   integrated reject option and the selective training objective.
+//! - [`augment`] — convolutional auto-encoder data augmentation
+//!   (Algorithm 1).
+//! - [`baseline`] — the Radon + geometry feature SVM baseline
+//!   (Wu et al., "SVM \[2\]" in the paper).
+//! - [`eval`] — confusion matrices, precision/recall/F1, coverage and
+//!   selective-risk metrics.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use wm_dsl::prelude::*;
+//!
+//! // A tiny synthetic WM-811K mixture (1% of the paper's scale).
+//! let (train, test) = SyntheticWm811k::new(16).scale(0.002).seed(1).build();
+//! assert!(train.len() > test.len());
+//! ```
+//!
+//! See `examples/quickstart.rs` for an end-to-end train/evaluate run.
+
+#![forbid(unsafe_code)]
+
+pub use augment;
+pub use baseline;
+pub use eval;
+pub use nn;
+pub use selective;
+pub use wafermap;
+
+/// Convenient re-exports of the most commonly used types.
+pub mod prelude {
+    pub use augment::{AugmentConfig, Augmenter};
+    pub use baseline::{FeatureConfig, SvmBaseline};
+    pub use eval::{ConfusionMatrix, SelectiveMetrics};
+    pub use selective::{SelectiveConfig, SelectiveModel, TrainConfig, TrainReport, Trainer};
+    pub use wafermap::{
+        gen::{GenConfig, SyntheticWm811k},
+        Dataset, DefectClass, Die, Sample, WaferMap,
+    };
+}

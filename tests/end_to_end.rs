@@ -1,0 +1,116 @@
+//! End-to-end integration: generation -> augmentation -> selective
+//! training -> evaluation, spanning every workspace crate.
+
+use wm_dsl::prelude::*;
+
+fn tiny_config() -> SelectiveConfig {
+    SelectiveConfig::for_grid(16).with_conv_channels([6, 6, 6]).with_fc(24)
+}
+
+#[test]
+fn full_pipeline_produces_consistent_metrics() {
+    // Generate a small imbalanced mixture.
+    let (train_raw, test) = SyntheticWm811k::new(16).scale(0.004).seed(42).build();
+    assert!(train_raw.len() > 100);
+
+    // Balance defect classes with Algorithm 1.
+    let augmenter =
+        Augmenter::new(AugmentConfig::new(30).with_channels([4, 4, 4]).with_ae_epochs(2), 1);
+    let train = augmenter.balance(&train_raw);
+    assert!(train.len() > train_raw.len(), "augmentation added nothing");
+    let synth_count = train.iter().filter(|s| s.synthetic).count();
+    assert_eq!(train.len() - train_raw.len(), synth_count);
+
+    // Train a selective model briefly.
+    let mut model = SelectiveModel::new(&tiny_config(), 7);
+    let report = Trainer::new(TrainConfig {
+        epochs: 3,
+        batch_size: 32,
+        learning_rate: 3e-3,
+        target_coverage: 0.5,
+        ..TrainConfig::default()
+    })
+    .run(&mut model, &train);
+    assert_eq!(report.epochs.len(), 3);
+    assert!(report.last().loss.is_finite());
+
+    // Evaluate: totals must be conserved and metrics in range.
+    let metrics = model.evaluate(&test, 0.5);
+    assert_eq!(metrics.total() as usize, test.len());
+    assert!((0.0..=1.0).contains(&metrics.coverage()));
+    assert!((0.0..=1.0).contains(&metrics.selective_accuracy()));
+    let per_class_sum: u64 =
+        (0..9).map(|c| metrics.class_selected(c)).sum();
+    assert_eq!(per_class_sum, metrics.selected_count());
+}
+
+#[test]
+fn plain_model_beats_chance_on_easy_distinction() {
+    // None vs NearFull is separable by mean intensity alone; even a
+    // briefly trained CNN must crush chance level (50%).
+    let (train, test) = SyntheticWm811k::new(16).scale(0.004).seed(1).build();
+    let keep = |c: DefectClass| c == DefectClass::None || c == DefectClass::NearFull;
+    // NearFull has very few samples at this scale; oversample it by
+    // duplicating through the augmenter path instead: simply filter
+    // and accept imbalance — accuracy on None alone is already > 0.5
+    // only if predictions aren't degenerate, so check class recalls.
+    let train2 = train.filtered(keep);
+    let test2 = test.filtered(keep);
+    let mut model = SelectiveModel::new(&tiny_config(), 3);
+    let _ = Trainer::new(TrainConfig {
+        epochs: 6,
+        batch_size: 16,
+        learning_rate: 5e-3,
+        ..TrainConfig::default()
+    })
+    .run(&mut model, &train2);
+    let metrics = model.evaluate(&test2, 0.0);
+    assert!(
+        metrics.selective_accuracy() > 0.8,
+        "easy pair accuracy too low: {}",
+        metrics.selective_accuracy()
+    );
+}
+
+#[test]
+fn selective_threshold_trades_coverage_for_selectivity() {
+    let (train, test) = SyntheticWm811k::new(16).scale(0.003).seed(9).build();
+    let mut model = SelectiveModel::new(&tiny_config(), 11);
+    let _ = Trainer::new(TrainConfig {
+        epochs: 3,
+        batch_size: 32,
+        learning_rate: 3e-3,
+        target_coverage: 0.5,
+        ..TrainConfig::default()
+    })
+    .run(&mut model, &train);
+    let lenient = model.evaluate(&test, 0.0);
+    let strict = model.evaluate(&test, 0.9);
+    assert!(lenient.coverage() >= strict.coverage());
+    assert!((lenient.coverage() - 1.0).abs() < 1e-9, "threshold 0 must cover everything");
+}
+
+#[test]
+fn calibration_hits_requested_coverage() {
+    let (train, test) = SyntheticWm811k::new(16).scale(0.003).seed(13).build();
+    let mut model = SelectiveModel::new(&tiny_config(), 17);
+    let _ = Trainer::new(TrainConfig {
+        epochs: 2,
+        batch_size: 32,
+        learning_rate: 3e-3,
+        target_coverage: 0.5,
+        ..TrainConfig::default()
+    })
+    .run(&mut model, &train);
+    let scores = model.selection_scores(&test);
+    assert_eq!(scores.len(), test.len());
+    for want in [0.25f64, 0.5, 0.75] {
+        let tau = selective::calibrate_threshold(&scores, want);
+        let metrics = model.evaluate(&test, tau);
+        assert!(
+            (metrics.coverage() - want).abs() < 0.08,
+            "calibration for {want} gave {}",
+            metrics.coverage()
+        );
+    }
+}

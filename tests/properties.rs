@@ -1,0 +1,129 @@
+//! Property-based tests on cross-crate invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use wm_dsl::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every generated wafer keeps the circular mask intact and only
+    /// ever fails on-wafer dies, for every class / seed / grid size.
+    #[test]
+    fn generated_wafers_are_well_formed(
+        seed in any::<u64>(),
+        class_idx in 0usize..9,
+        grid in prop_oneof![Just(16usize), Just(24), Just(32)],
+    ) {
+        let class = DefectClass::from_index(class_idx).expect("valid index");
+        let cfg = wafermap::gen::GenConfig::new(grid);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let map = wafermap::gen::generate(class, &cfg, &mut rng);
+        let blank = WaferMap::blank(grid, grid);
+        prop_assert_eq!(map.on_wafer_count(), blank.on_wafer_count());
+        prop_assert!(map.fail_count() <= map.on_wafer_count());
+        // Image round-trip is lossless.
+        let back = WaferMap::from_image_masked(&map.to_image(), &map).expect("same shape");
+        prop_assert_eq!(back, map);
+    }
+
+    /// Rotation never changes the wafer mask, and rotating by 360°
+    /// reproduces the original map exactly.
+    #[test]
+    fn rotation_preserves_mask(
+        seed in any::<u64>(),
+        class_idx in 0usize..9,
+        angle in 0.0f32..360.0,
+    ) {
+        let class = DefectClass::from_index(class_idx).expect("valid index");
+        let cfg = wafermap::gen::GenConfig::new(24);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let map = wafermap::gen::generate(class, &cfg, &mut rng);
+        let rot = wafermap::ops::rotate(&map, angle);
+        prop_assert_eq!(rot.on_wafer_count(), map.on_wafer_count());
+        let full = wafermap::ops::rotate(&map, 360.0);
+        prop_assert_eq!(full, map);
+    }
+
+    /// The selective loss gradient w.r.t. g always matches finite
+    /// differences (random logits, scores, labels, weights).
+    #[test]
+    fn selective_loss_gradient_is_exact(
+        seed in any::<u64>(),
+        c0 in 0.1f32..1.0,
+        n in 2usize..8,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let logits = nn::Tensor::randn(&[n, 4], 1.0, &mut rng);
+        let g: Vec<f32> = (0..n).map(|i| 0.1 + 0.8 * (i as f32 / n as f32)).collect();
+        let labels: Vec<usize> = (0..n).map(|i| i % 4).collect();
+        let weights: Vec<f32> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { 0.5 }).collect();
+        let loss = selective::SelectiveLoss::new(c0);
+        let (_, _, grad_g) = loss.compute(&logits, &g, &labels, &weights);
+        let eps = 1e-3f32;
+        for idx in 0..n {
+            let mut gp = g.clone();
+            gp[idx] += eps;
+            let mut gm = g.clone();
+            gm[idx] -= eps;
+            let lp = loss.compute(&logits, &gp, &labels, &weights).0.total;
+            let lm = loss.compute(&logits, &gm, &labels, &weights).0.total;
+            let numeric = (lp - lm) / (2.0 * eps);
+            prop_assert!((numeric - grad_g[idx]).abs() < 2e-3,
+                "grad mismatch at {}: {} vs {}", idx, numeric, grad_g[idx]);
+        }
+    }
+
+    /// Threshold calibration achieves the requested coverage within
+    /// one sample's resolution on arbitrary score sets.
+    #[test]
+    fn calibration_is_tight(
+        scores in proptest::collection::vec(0.0f32..1.0, 1..200),
+        coverage in 0.0f64..1.0,
+    ) {
+        let tau = selective::calibrate_threshold(&scores, coverage);
+        let kept = scores.iter().filter(|&&s| s >= tau).count();
+        let want = ((scores.len() as f64) * coverage).round() as usize;
+        // Ties can only keep extra samples that share the cut score.
+        prop_assert!(kept >= want, "kept {} < want {}", kept, want);
+        let ties = scores.iter().filter(|&&s| s == tau).count();
+        prop_assert!(kept <= want + ties, "kept {} > want {} + ties {}", kept, want, ties);
+    }
+
+    /// Confusion-matrix derived metrics stay within [0, 1] and
+    /// accuracy equals the weighted mean of per-class recalls.
+    #[test]
+    fn confusion_matrix_invariants(
+        observations in proptest::collection::vec((0usize..5, 0usize..5), 1..300),
+    ) {
+        let mut cm = eval::ConfusionMatrix::new(5);
+        for &(t, p) in &observations {
+            cm.record(t, p);
+        }
+        prop_assert_eq!(cm.total() as usize, observations.len());
+        let mut recall_weighted = 0.0f64;
+        for class in 0..5 {
+            prop_assert!((0.0..=1.0).contains(&cm.precision(class)));
+            prop_assert!((0.0..=1.0).contains(&cm.recall(class)));
+            prop_assert!((0.0..=1.0).contains(&cm.f1(class)));
+            recall_weighted += cm.recall(class) * cm.support(class) as f64;
+        }
+        let acc = cm.accuracy();
+        prop_assert!((acc - recall_weighted / cm.total() as f64).abs() < 1e-9);
+    }
+
+    /// Salt-and-pepper noise of rate 0 is the identity; any rate keeps
+    /// the wafer mask intact.
+    #[test]
+    fn salt_and_pepper_invariants(seed in any::<u64>(), rate in 0.0f32..0.5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = wafermap::gen::GenConfig::new(16);
+        let map = wafermap::gen::generate(DefectClass::Location, &cfg, &mut rng);
+        let noisy = wafermap::ops::salt_and_pepper(&map, rate, &mut rng);
+        prop_assert_eq!(noisy.on_wafer_count(), map.on_wafer_count());
+        let same = wafermap::ops::salt_and_pepper(&map, 0.0, &mut rng);
+        prop_assert_eq!(same, map);
+    }
+}
