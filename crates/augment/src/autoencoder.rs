@@ -197,10 +197,8 @@ impl ConvAutoencoder {
                 for &i in batch {
                     data.extend_from_slice(&images.data()[i * pixels..(i + 1) * pixels]);
                 }
-                let x = Tensor::from_vec(
-                    data,
-                    &[batch.len(), 1, self.config.grid, self.config.grid],
-                );
+                let x =
+                    Tensor::from_vec(data, &[batch.len(), 1, self.config.grid, self.config.grid]);
                 let recon = self.reconstruct(&x);
                 let (loss, grad) = mse(&recon, &x);
                 self.encoder.zero_grad();

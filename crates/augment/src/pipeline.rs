@@ -204,12 +204,19 @@ impl Augmenter {
     #[must_use]
     pub fn balance(&self, dataset: &Dataset) -> Dataset {
         let counts = dataset.class_counts();
+        // Each under-target class trains its own auto-encoder from its
+        // own seeded RNG, so classes are independent work items; fan
+        // them out across the worker pool and merge the results in
+        // `DefectClass::ALL` order, exactly as the serial loop did.
+        let classes: Vec<DefectClass> = DefectClass::ALL
+            .into_iter()
+            .filter(|class| class.is_defect() && counts[class.index()] < self.config.target)
+            .collect();
+        let synthetics =
+            nn::pool::parallel_map(classes.len(), |i| self.augment_class(dataset, classes[i]));
         let mut out = dataset.clone();
-        for class in DefectClass::ALL {
-            if !class.is_defect() || counts[class.index()] >= self.config.target {
-                continue;
-            }
-            out.extend(self.augment_class(dataset, class));
+        for synth in synthetics {
+            out.extend(synth);
         }
         out
     }

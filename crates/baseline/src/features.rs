@@ -92,6 +92,15 @@ pub fn extract(map: &WaferMap, config: &FeatureConfig) -> Vec<f32> {
     out
 }
 
+/// Extract feature vectors for a batch of wafer maps, fanning the
+/// per-map work (dominated by the Radon projections) out across the
+/// worker pool. Output order matches input order regardless of thread
+/// count.
+#[must_use]
+pub fn extract_batch(maps: &[&WaferMap], config: &FeatureConfig) -> Vec<Vec<f32>> {
+    nn::pool::parallel_map(maps.len(), |i| extract(maps[i], config))
+}
+
 /// 13 zone fail-density features: a 3×3 grid over the wafer interior
 /// (zones 0–8) plus four edge-band quadrants (zones 9–12).
 ///
@@ -127,9 +136,7 @@ pub fn density_features(map: &WaferMap) -> Vec<f32> {
             fails[zone] += 1;
         }
     }
-    (0..13)
-        .map(|z| if totals[z] == 0 { 0.0 } else { fails[z] as f32 / totals[z] as f32 })
-        .collect()
+    (0..13).map(|z| if totals[z] == 0 { 0.0 } else { fails[z] as f32 / totals[z] as f32 }).collect()
 }
 
 /// Radon features: for each of `n_angles` projection directions
@@ -199,12 +206,8 @@ pub fn geometry_features(map: &WaferMap) -> Vec<f32> {
     let perimeter = region
         .iter()
         .filter(|&&(x, y)| {
-            let neighbors = [
-                (x.wrapping_sub(1), y),
-                (x + 1, y),
-                (x, y.wrapping_sub(1)),
-                (x, y + 1),
-            ];
+            let neighbors =
+                [(x.wrapping_sub(1), y), (x + 1, y), (x, y.wrapping_sub(1)), (x, y + 1)];
             neighbors.iter().any(|n| !in_region.contains(n))
         })
         .count() as f32
@@ -374,10 +377,7 @@ mod tests {
         let stds = &feats[4..];
         // Projecting onto the x-axis (θ=0) spreads the line; onto the
         // y-axis (θ=90°) concentrates it into one bin -> higher std.
-        assert!(
-            stds[2] > stds[0] * 1.5,
-            "expected θ=90° std >> θ=0° std, got {stds:?}"
-        );
+        assert!(stds[2] > stds[0] * 1.5, "expected θ=90° std >> θ=0° std, got {stds:?}");
     }
 
     #[test]

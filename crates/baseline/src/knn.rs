@@ -42,8 +42,8 @@ impl KnnBaseline {
     pub fn fit(dataset: &Dataset, feature_config: &FeatureConfig, k: usize) -> Self {
         assert!(!dataset.is_empty(), "cannot fit on an empty dataset");
         assert!(k > 0, "k must be non-zero");
-        let rows: Vec<Vec<f32>> =
-            dataset.iter().map(|s| extract(&s.map, feature_config)).collect();
+        let maps: Vec<&wafermap::WaferMap> = dataset.iter().map(|s| &s.map).collect();
+        let rows = crate::features::extract_batch(&maps, feature_config);
         let scaler = Standardizer::fit(&rows);
         let features = scaler.transform_all(&rows);
         let labels = dataset.iter().map(|s| s.label.index()).collect();
@@ -84,8 +84,7 @@ impl KnnBaseline {
             a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
         });
         let neighbours = &mut dists[..k];
-        neighbours
-            .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        neighbours.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
         let mut votes = [0u32; DefectClass::COUNT];
         for &(_, label) in neighbours.iter() {
             votes[label] += 1;

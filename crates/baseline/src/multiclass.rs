@@ -41,15 +41,14 @@ impl SvmBaseline {
         seed: u64,
     ) -> Self {
         assert!(!dataset.is_empty(), "cannot train on an empty dataset");
-        let rows: Vec<Vec<f32>> =
-            dataset.iter().map(|s| extract(&s.map, feature_config)).collect();
+        let maps: Vec<&wafermap::WaferMap> = dataset.iter().map(|s| &s.map).collect();
+        let rows = crate::features::extract_batch(&maps, feature_config);
         let labels: Vec<usize> = dataset.iter().map(|s| s.label.index()).collect();
         let scaler = Standardizer::fit(&rows);
         let rows = scaler.transform_all(&rows);
 
         let counts = dataset.class_counts();
-        let classes: Vec<usize> =
-            (0..DefectClass::COUNT).filter(|&c| counts[c] > 0).collect();
+        let classes: Vec<usize> = (0..DefectClass::COUNT).filter(|&c| counts[c] > 0).collect();
         assert!(classes.len() >= 2, "need at least two classes to train");
 
         let mut machines = Vec::new();
@@ -136,8 +135,7 @@ mod tests {
     #[test]
     fn committee_size_matches_class_pairs() {
         let (train, _) = SyntheticWm811k::new(16).scale(0.001).seed(1).build();
-        let model =
-            SvmBaseline::train(&train, &FeatureConfig::default(), &SvmParams::default(), 2);
+        let model = SvmBaseline::train(&train, &FeatureConfig::default(), &SvmParams::default(), 2);
         // All nine classes present: 9·8/2 = 36 machines.
         assert_eq!(model.machine_count(), 36);
         assert_eq!(model.classes().len(), 9);
@@ -146,14 +144,9 @@ mod tests {
     #[test]
     fn learns_separable_classes_well_above_chance() {
         let (train, test) = SyntheticWm811k::new(16).scale(0.003).seed(3).build();
-        let model =
-            SvmBaseline::train(&train, &FeatureConfig::default(), &SvmParams::default(), 4);
+        let model = SvmBaseline::train(&train, &FeatureConfig::default(), &SvmParams::default(), 4);
         let cm = model.evaluate(&test);
-        assert!(
-            cm.accuracy() > 0.6,
-            "baseline far below expectation: {:.3}",
-            cm.accuracy()
-        );
+        assert!(cm.accuracy() > 0.6, "baseline far below expectation: {:.3}", cm.accuracy());
     }
 
     #[test]
@@ -172,8 +165,7 @@ mod tests {
     #[test]
     fn evaluate_covers_every_sample() {
         let (train, test) = SyntheticWm811k::new(16).scale(0.001).seed(7).build();
-        let model =
-            SvmBaseline::train(&train, &FeatureConfig::default(), &SvmParams::default(), 8);
+        let model = SvmBaseline::train(&train, &FeatureConfig::default(), &SvmParams::default(), 8);
         let cm = model.evaluate(&test);
         assert_eq!(cm.total() as usize, test.len());
     }

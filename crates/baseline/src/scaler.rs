@@ -71,11 +71,7 @@ impl Standardizer {
     #[must_use]
     pub fn transform(&self, row: &[f32]) -> Vec<f32> {
         assert_eq!(row.len(), self.dim(), "feature dimension mismatch");
-        row.iter()
-            .zip(&self.mean)
-            .zip(&self.std)
-            .map(|((&v, &m), &s)| (v - m) / s)
-            .collect()
+        row.iter().zip(&self.mean).zip(&self.std).map(|((&v, &m), &s)| (v - m) / s).collect()
     }
 
     /// Standardize many rows.

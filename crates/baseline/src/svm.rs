@@ -172,10 +172,12 @@ impl Svm {
                 let ai = ai_old + y[i] * y[j] * (aj_old - aj);
                 alpha[i] = ai;
                 alpha[j] = aj;
-                let b1 = b - ei
+                let b1 = b
+                    - ei
                     - y[i] * (ai - ai_old) * k[i * n + i]
                     - y[j] * (aj - aj_old) * k[i * n + j];
-                let b2 = b - ej
+                let b2 = b
+                    - ej
                     - y[i] * (ai - ai_old) * k[i * n + j]
                     - y[j] * (aj - aj_old) * k[j * n + j];
                 b = if ai > 0.0 && ai < params.c {
@@ -257,8 +259,7 @@ mod tests {
         let y: Vec<f32> = x.iter().map(|p| if p[0] > 0.0 { 1.0 } else { -1.0 }).collect();
         let params = SvmParams { kernel: Kernel::Linear, ..SvmParams::default() };
         let svm = Svm::train(&x, &y, &params, 1);
-        let correct =
-            x.iter().zip(&y).filter(|(xi, &yi)| svm.predict(xi) == yi).count();
+        let correct = x.iter().zip(&y).filter(|(xi, &yi)| svm.predict(xi) == yi).count();
         assert!(correct >= 38, "linear SVM only got {correct}/40");
     }
 
@@ -274,12 +275,8 @@ mod tests {
     #[test]
     fn linear_svm_cannot_separate_ring_but_rbf_can() {
         let (x, y) = ring_dataset(60);
-        let lin = Svm::train(
-            &x,
-            &y,
-            &SvmParams { kernel: Kernel::Linear, ..SvmParams::default() },
-            3,
-        );
+        let lin =
+            Svm::train(&x, &y, &SvmParams { kernel: Kernel::Linear, ..SvmParams::default() }, 3);
         let lin_correct = x.iter().zip(&y).filter(|(xi, &yi)| lin.predict(xi) == yi).count();
         assert!(lin_correct < 45, "linear should fail on rings: {lin_correct}/60");
     }
@@ -322,10 +319,6 @@ mod tests {
         }
         let params = SvmParams { kernel: Kernel::Linear, ..SvmParams::default() };
         let svm = Svm::train(&x, &y, &params, 6);
-        assert!(
-            svm.support_vector_count() < 30,
-            "too many SVs: {}",
-            svm.support_vector_count()
-        );
+        assert!(svm.support_vector_count() < 30, "too many SVs: {}", svm.support_vector_count());
     }
 }

@@ -21,15 +21,16 @@ fn bench_augmentation(c: &mut Criterion) {
     let z = ae.encode(&image);
 
     let mut group = c.benchmark_group("augmentation");
-    group.bench_function("ae_encode_single", |b| {
-        b.iter(|| black_box(ae.encode(black_box(&image))))
-    });
+    group
+        .bench_function("ae_encode_single", |b| b.iter(|| black_box(ae.encode(black_box(&image)))));
     group.bench_function("ae_decode_single", |b| b.iter(|| black_box(ae.decode(black_box(&z)))));
     group.bench_function("quantize", |b| {
         let decoded = ae.decode(&z);
         b.iter(|| black_box(ops::quantize(black_box(decoded.data()), &map).expect("shape")))
     });
-    group.bench_function("rotate_45deg", |b| b.iter(|| black_box(ops::rotate(black_box(&map), 45.0))));
+    group.bench_function("rotate_45deg", |b| {
+        b.iter(|| black_box(ops::rotate(black_box(&map), 45.0)))
+    });
     group.bench_function("salt_and_pepper_1pct", |b| {
         let mut rng = StdRng::seed_from_u64(2);
         b.iter(|| black_box(ops::salt_and_pepper(black_box(&map), 0.01, &mut rng)))

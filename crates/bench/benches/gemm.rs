@@ -28,19 +28,33 @@ fn bench_gemm(c: &mut Criterion) {
             });
         });
     }
-    // The conv2 shape from Table I on a 32x32 wafer:
-    // [32, 576] x [576, 256].
-    let (m, k, n) = (32usize, 576usize, 256usize);
-    let a = rand_vec(m * k, 3);
-    let b = rand_vec(k * n, 4);
-    group.throughput(Throughput::Elements((2 * m * k * n) as u64));
-    group.bench_function("sgemm_conv2_shape", |bench| {
-        let mut out = vec![0.0f32; m * n];
-        bench.iter(|| {
-            out.iter_mut().for_each(|v| *v = 0.0);
-            nn::gemm::sgemm(m, k, n, black_box(&a), black_box(&b), &mut out);
+    // Table I layer shapes on a 32x32 wafer (batch 32): the conv
+    // forward products, the fc forward (nt), a conv weight-gradient
+    // (nt) and the conv input-gradients (tn). `sgemm_conv2_shape` is
+    // the historical name for the conv2 forward product.
+    type Kernel = fn(usize, usize, usize, &[f32], &[f32], &mut [f32]);
+    let cases: &[(&str, Kernel, usize, usize, usize)] = &[
+        ("sgemm_conv1_shape", nn::gemm::sgemm, 64, 25, 1024),
+        ("sgemm_conv2_shape", nn::gemm::sgemm, 32, 576, 256),
+        ("sgemm_conv3_shape", nn::gemm::sgemm, 32, 288, 64),
+        ("sgemm_nt_fc_shape", nn::gemm::sgemm_nt, 32, 512, 256),
+        ("sgemm_nt_dw2_shape", nn::gemm::sgemm_nt, 32, 256, 576),
+        ("sgemm_tn_dcol1_shape", nn::gemm::sgemm_tn, 25, 64, 1024),
+        ("sgemm_tn_dcol2_shape", nn::gemm::sgemm_tn, 576, 32, 256),
+    ];
+    for &(name, kernel, m, k, n) in cases {
+        // Operand lengths cover all layout variants of the same shape.
+        let a = rand_vec(m * k + k * m, 3);
+        let b = rand_vec(k * n + n * k, 4);
+        group.throughput(Throughput::Elements((2 * m * k * n) as u64));
+        group.bench_function(name, |bench| {
+            let mut out = vec![0.0f32; m * n];
+            bench.iter(|| {
+                out.iter_mut().for_each(|v| *v = 0.0);
+                kernel(m, k, n, black_box(&a), black_box(&b), &mut out);
+            });
         });
-    });
+    }
     group.finish();
 }
 

@@ -24,7 +24,10 @@ struct VariantRow {
 fn main() {
     let args = ExperimentArgs::parse();
     let c0 = 0.5f32;
-    eprintln!("ablation_aux: scale {} grid {} epochs {} c0 {c0}", args.scale, args.grid, args.epochs);
+    eprintln!(
+        "ablation_aux: scale {} grid {} epochs {} c0 {c0}",
+        args.scale, args.grid, args.epochs
+    );
     let data = prepare(&args);
 
     let train_cfg = TrainConfig {

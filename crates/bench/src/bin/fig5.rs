@@ -36,10 +36,8 @@ fn main() {
         // Fixed threshold: the paper's protocol. The full-coverage
         // point is the plain CE model evaluated on every sample.
         let fixed_tau = if c0 >= 1.0 { 0.0 } else { 0.5 };
-        let fixed = RiskCoveragePoint::from_metrics(
-            f64::from(c0),
-            &model.evaluate(&data.test, fixed_tau),
-        );
+        let fixed =
+            RiskCoveragePoint::from_metrics(f64::from(c0), &model.evaluate(&data.test, fixed_tau));
         // Calibrated threshold: hit c0 exactly on the training scores.
         let calibrated_tau = if c0 >= 1.0 {
             0.0

@@ -24,7 +24,10 @@ struct LambdaRow {
 fn main() {
     let mut args = ExperimentArgs::parse();
     let c0 = 0.75f32;
-    eprintln!("lambda_sweep: scale {} grid {} epochs {} c0 {c0}", args.scale, args.grid, args.epochs);
+    eprintln!(
+        "lambda_sweep: scale {} grid {} epochs {} c0 {c0}",
+        args.scale, args.grid, args.epochs
+    );
     let data = prepare(&args);
 
     let lambdas = [0.5f32, 4.0, 32.0];

@@ -1,0 +1,164 @@
+//! Before/after timing report for the batch-parallel compute core.
+//!
+//! Measures the legacy implementation (naive GEMM loops, spawn-per-call
+//! threading, serial batch loops — preserved behind
+//! [`nn::pool::ComputeMode::Legacy`]) against the default blocked-GEMM
+//! + worker-pool path, in one process, on three workloads:
+//!
+//! 1. a GEMM sweep over the Table I layer shapes on a 32×32 grid,
+//! 2. one training epoch of the paper's selective CNN,
+//! 3. one `augment_class` call (Algorithm 1 for a single class).
+//!
+//! Writes `BENCH_compute.json` into the current directory (run from the
+//! repository root) and prints the same numbers as a table.
+
+use std::time::Instant;
+
+use augment::{AugmentConfig, Augmenter};
+use nn::pool::{self, ComputeMode};
+use selective::{SelectiveConfig, SelectiveModel, TrainConfig, Trainer};
+use serde::Serialize;
+use wafermap::gen::SyntheticWm811k;
+use wafermap::DefectClass;
+
+#[derive(Serialize)]
+struct Entry {
+    name: String,
+    baseline_ms: f64,
+    optimized_ms: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    description: String,
+    pool_threads: usize,
+    entries: Vec<Entry>,
+}
+
+fn rand_vec(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+        .collect()
+}
+
+/// Wall-clock milliseconds per call for one sample of `reps` calls.
+fn sample_ms(f: &mut impl FnMut(), reps: u32) -> f64 {
+    let start = Instant::now();
+    for _ in 0..reps.max(1) {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e3 / f64::from(reps.max(1))
+}
+
+/// Time `f` under both compute modes and record the comparison.
+///
+/// Samples alternate between the two modes and each mode reports its
+/// fastest sample: on a shared/noisy host, interleaving exposes both
+/// modes to the same interference and the minimum estimates the true
+/// cost.
+fn compare(entries: &mut Vec<Entry>, name: &str, reps: u32, samples: u32, mut f: impl FnMut()) {
+    let mut baseline_ms = f64::INFINITY;
+    let mut optimized_ms = f64::INFINITY;
+    pool::set_compute_mode(ComputeMode::Pooled);
+    f(); // warm-up: page in buffers, spawn pool workers untimed
+    for _ in 0..samples.max(1) {
+        pool::set_compute_mode(ComputeMode::Legacy);
+        baseline_ms = baseline_ms.min(sample_ms(&mut f, reps));
+        pool::set_compute_mode(ComputeMode::Pooled);
+        optimized_ms = optimized_ms.min(sample_ms(&mut f, reps));
+    }
+    let speedup = baseline_ms / optimized_ms;
+    println!("  {name:<28} {baseline_ms:>10.3} ms {optimized_ms:>10.3} ms   {speedup:>5.2}x");
+    entries.push(Entry { name: name.to_string(), baseline_ms, optimized_ms, speedup });
+}
+
+/// GEMM sweep at the Table I layer shapes (32×32 input grid, batch 32).
+fn gemm_sweep(entries: &mut Vec<Entry>) {
+    println!("GEMM sweep (paper layer shapes)");
+    // (kernel, m, k, n): conv forwards, the fc forward, a conv
+    // weight-gradient (nt) and a conv input-gradient (tn).
+    type Kernel = fn(usize, usize, usize, &[f32], &[f32], &mut [f32]);
+    let cases: &[(&str, Kernel, usize, usize, usize)] = &[
+        ("gemm_nn_conv1_64x25x1024", nn::gemm::sgemm, 64, 25, 1024),
+        ("gemm_nn_conv2_32x576x256", nn::gemm::sgemm, 32, 576, 256),
+        ("gemm_nn_conv3_32x288x64", nn::gemm::sgemm, 32, 288, 64),
+        ("gemm_nt_fc_32x512x256", nn::gemm::sgemm_nt, 32, 512, 256),
+        ("gemm_nt_dw_32x256x576", nn::gemm::sgemm_nt, 32, 256, 576),
+        ("gemm_tn_dcol1_25x64x1024", nn::gemm::sgemm_tn, 25, 64, 1024),
+        ("gemm_tn_dcol2_576x32x256", nn::gemm::sgemm_tn, 576, 32, 256),
+    ];
+    for &(name, kernel, m, k, n) in cases {
+        // Operand lengths are generous (max of the layout variants) so
+        // one buffer pair serves all three kernels.
+        let a = rand_vec(m * k + k * m, 1);
+        let b = rand_vec(k * n + n * k, 2);
+        let mut c = vec![0.0f32; m * n];
+        let reps = (200_000_000 / (2 * m * k * n)).clamp(3, 2000) as u32;
+        compare(entries, name, reps, 5, || {
+            c.iter_mut().for_each(|v| *v = 0.0);
+            kernel(m, k, n, std::hint::black_box(&a), std::hint::black_box(&b), &mut c);
+        });
+    }
+}
+
+/// One training epoch of the Table I selective CNN on a 32×32 grid.
+fn train_epoch(entries: &mut Vec<Entry>) {
+    println!("Training (1 epoch, grid 32, Table I architecture)");
+    let (train, _) = SyntheticWm811k::new(32).scale(0.01).seed(2020).build();
+    let config = SelectiveConfig::for_grid(32);
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 1,
+        batch_size: 32,
+        learning_rate: 3e-3,
+        target_coverage: 0.75,
+        lambda: 0.5,
+        alpha: 0.5,
+        seed: 2020,
+    });
+    compare(entries, "train_epoch_grid32", 1, 3, || {
+        let mut model = SelectiveModel::new(&config, 2020);
+        let _ = trainer.run(&mut model, &train);
+    });
+}
+
+/// Algorithm 1 for one class (auto-encoder training + generation).
+fn augment_one_class(entries: &mut Vec<Entry>) {
+    println!("Augmentation (one class, grid 16)");
+    let (train, _) = SyntheticWm811k::new(16).scale(0.004).seed(2020).build();
+    let n_cl = train.of_class(DefectClass::Donut).len().max(1);
+    let augmenter = Augmenter::new(
+        AugmentConfig::new(n_cl * 4).with_channels([8, 8, 8]).with_ae_epochs(4),
+        2020,
+    );
+    compare(entries, "augment_class_grid16", 1, 3, || {
+        let _ = augmenter.augment_class(&train, DefectClass::Donut);
+    });
+}
+
+fn main() {
+    let mut entries = Vec::new();
+    println!(
+        "perf_report: legacy (pre-optimization) vs pooled (blocked GEMM + worker pool), \
+         {} pool thread(s)\n",
+        pool::num_threads()
+    );
+    println!("  {:<28} {:>13} {:>13} {:>8}", "workload", "legacy", "pooled", "speedup");
+    gemm_sweep(&mut entries);
+    train_epoch(&mut entries);
+    augment_one_class(&mut entries);
+
+    let report = Report {
+        description: "legacy vs pooled compute core; times are best-of-samples wall-clock ms"
+            .to_string(),
+        pool_threads: pool::num_threads(),
+        entries,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_compute.json", json).expect("write BENCH_compute.json");
+    println!("\nwrote BENCH_compute.json");
+}

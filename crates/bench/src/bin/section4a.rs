@@ -8,10 +8,10 @@
 //! three splits but only ~5% coverage on the distribution-shifted
 //! "Test" set. This harness reproduces all four measurements.
 
-use selective::{SelectiveConfig, SelectiveModel, TrainConfig, Trainer};
-use serde::Serialize;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use selective::{SelectiveConfig, SelectiveModel, TrainConfig, Trainer};
+use serde::Serialize;
 use wafermap::gen::SyntheticWm811k;
 use wafermap::shift::{shifted_dataset, ShiftConfig};
 use wm_bench::{save_json, ExperimentArgs};
@@ -57,12 +57,8 @@ fn main() {
     let mut sel = SelectiveModel::new(&SelectiveConfig::for_grid(args.grid), args.seed ^ 2);
     let _ = mk_trainer(0.5).run(&mut sel, &train);
 
-    let shifted = shifted_dataset(
-        args.grid,
-        (test.len() / 9).max(5),
-        &ShiftConfig::severe(),
-        args.seed ^ 3,
-    );
+    let shifted =
+        shifted_dataset(args.grid, (test.len() / 9).max(5), &ShiftConfig::severe(), args.seed ^ 3);
 
     let splits: Vec<(String, &wafermap::Dataset)> = vec![
         ("train (70%)".to_owned(), &train),

@@ -31,7 +31,11 @@ fn main() {
     // Full-coverage CNN (plain cross-entropy, threshold 0 keeps all).
     eprintln!("training full-coverage CNN ...");
     let (mut model, report) = train_selective(&args, &data.train, 1.0);
-    eprintln!("  final epoch: loss {:.4}, train acc {:.3}", report.last().loss, report.last().accuracy);
+    eprintln!(
+        "  final epoch: loss {:.4}, train acc {:.3}",
+        report.last().loss,
+        report.last().accuracy
+    );
     let cnn_metrics = model.evaluate(&data.test, 0.0);
     let cnn = cnn_metrics.selected_matrix();
 
@@ -65,9 +69,7 @@ fn main() {
     println!("\npaper reference: CNN 94% (defects 86%) vs SVM 91% (defects 72%)");
 
     let dump = |cm: &eval::ConfusionMatrix| -> Vec<Vec<u64>> {
-        (0..cm.n_classes())
-            .map(|t| (0..cm.n_classes()).map(|p| cm.count(t, p)).collect())
-            .collect()
+        (0..cm.n_classes()).map(|t| (0..cm.n_classes()).map(|p| cm.count(t, p)).collect()).collect()
     };
     save_json(
         &args.out_dir,

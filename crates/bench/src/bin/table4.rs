@@ -74,7 +74,10 @@ fn train_eight_class(args: &ExperimentArgs, train: &Dataset, c0: f32) -> Selecti
 
 fn main() {
     let args = ExperimentArgs::parse();
-    eprintln!("table4: scale {} grid {} epochs {} (Near-Full excluded from training)", args.scale, args.grid, args.epochs);
+    eprintln!(
+        "table4: scale {} grid {} epochs {} (Near-Full excluded from training)",
+        args.scale, args.grid, args.epochs
+    );
     let data = prepare(&args);
     let train = data.train.filtered(|c| c != DefectClass::NearFull);
     // All Near-Full samples (train + test splits) go to testing, as in
@@ -129,8 +132,7 @@ fn main() {
         }
         let original = original_correct[idx] as f64 / totals[idx] as f64;
         let covered = metrics.class_selected(idx);
-        let sel_recall =
-            if covered > 0 { Some(metrics.selective_recall(idx)) } else { None };
+        let sel_recall = if covered > 0 { Some(metrics.selective_recall(idx)) } else { None };
         println!(
             "{:>10} {:>16} {:>17} {:>9} ({:.1}%)",
             class.name(),

@@ -141,10 +141,8 @@ mod tests {
 
     #[test]
     fn builder_overrides() {
-        let c = SelectiveConfig::for_grid(16)
-            .with_classes(8)
-            .with_conv_channels([4, 4, 4])
-            .with_fc(16);
+        let c =
+            SelectiveConfig::for_grid(16).with_classes(8).with_conv_channels([4, 4, 4]).with_fc(16);
         assert_eq!(c.n_classes, 8);
         assert_eq!(c.flat_features(), 4 * 2 * 2);
     }

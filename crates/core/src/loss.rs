@@ -136,8 +136,8 @@ impl SelectiveLoss {
         let w_sum: f32 = weights.iter().sum::<f32>().max(1e-8);
         let plain_risk = ce.iter().zip(weights).map(|(&l, &wi)| wi * l).sum::<f32>() / w_sum;
 
-        let total = self.alpha * (selective_risk + self.lambda * penalty)
-            + (1.0 - self.alpha) * plain_risk;
+        let total =
+            self.alpha * (selective_risk + self.lambda * penalty) + (1.0 - self.alpha) * plain_risk;
 
         // Gradient w.r.t. logits: per-sample coefficient times
         // (p − onehot). d selective_risk/d ce_i = w_i·g_i / Σg;

@@ -50,9 +50,7 @@ impl SelectiveModel {
         let head_f = Linear::new(config.fc, config.n_classes, &mut rng);
         let head_g =
             Sequential::new().with(Linear::new(config.fc, 1, &mut rng)).with(Sigmoid::new());
-        let head_aux = config
-            .aux_head
-            .then(|| Linear::new(config.fc, config.n_classes, &mut rng));
+        let head_aux = config.aux_head.then(|| Linear::new(config.fc, config.n_classes, &mut rng));
         SelectiveModel { config: *config, trunk, head_f, head_g, head_aux }
     }
 
@@ -145,10 +143,8 @@ impl SelectiveModel {
         let grad_feat_g = self.head_g.backward(&grad_g_tensor);
         let mut grad_features = grad_feat_f.add(&grad_feat_g);
         if let Some(grad_aux) = grad_aux {
-            let head = self
-                .head_aux
-                .as_mut()
-                .expect("grad_aux supplied but model has no auxiliary head");
+            let head =
+                self.head_aux.as_mut().expect("grad_aux supplied but model has no auxiliary head");
             grad_features = grad_features.add(&head.backward(grad_aux));
         }
         let _ = self.trunk.backward(&grad_features);
@@ -167,12 +163,9 @@ impl SelectiveModel {
     /// Apply one optimizer step over all parameters.
     pub fn step(&mut self, adam: &mut Adam) {
         match &mut self.head_aux {
-            Some(aux) => adam.step_multi(&mut [
-                &mut self.trunk,
-                &mut self.head_f,
-                &mut self.head_g,
-                aux,
-            ]),
+            Some(aux) => {
+                adam.step_multi(&mut [&mut self.trunk, &mut self.head_f, &mut self.head_g, aux])
+            }
             None => {
                 adam.step_multi(&mut [&mut self.trunk, &mut self.head_f, &mut self.head_g]);
             }

@@ -68,10 +68,7 @@ impl CoverageMonitor {
             "target coverage must be in (0, 1]"
         );
         assert!(window > 0, "window must be non-zero");
-        assert!(
-            alarm_fraction > 0.0 && alarm_fraction <= 1.0,
-            "alarm fraction must be in (0, 1]"
-        );
+        assert!(alarm_fraction > 0.0 && alarm_fraction <= 1.0, "alarm fraction must be in (0, 1]");
         CoverageMonitor {
             target_coverage,
             alarm_fraction,

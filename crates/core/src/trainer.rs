@@ -223,8 +223,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut ds = Dataset::new(16);
         for _ in 0..per_class {
-            ds.push(Sample::original(generate(DefectClass::NearFull, &cfg, &mut rng), DefectClass::NearFull));
-            ds.push(Sample::original(generate(DefectClass::None, &cfg, &mut rng), DefectClass::None));
+            ds.push(Sample::original(
+                generate(DefectClass::NearFull, &cfg, &mut rng),
+                DefectClass::NearFull,
+            ));
+            ds.push(Sample::original(
+                generate(DefectClass::None, &cfg, &mut rng),
+                DefectClass::None,
+            ));
         }
         ds
     }
@@ -290,10 +296,8 @@ mod tests {
 
     #[test]
     fn aux_head_training_converges_on_easy_pair() {
-        let config = SelectiveConfig::for_grid(16)
-            .with_conv_channels([4, 4, 4])
-            .with_fc(16)
-            .with_aux_head();
+        let config =
+            SelectiveConfig::for_grid(16).with_conv_channels([4, 4, 4]).with_fc(16).with_aux_head();
         let mut model = SelectiveModel::new(&config, 9);
         let train = easy_dataset(24, 10);
         let report = Trainer::new(TrainConfig {

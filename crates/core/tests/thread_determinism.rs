@@ -1,0 +1,41 @@
+//! End-to-end training must be bit-identical regardless of the worker
+//! pool size: `WM_NUM_THREADS=1` and the default limit have to produce
+//! the same weights to the last bit (DESIGN.md, "Threading model &
+//! determinism"). `set_thread_limit` stands in for the environment
+//! variable, which the pool reads only once per process.
+
+use nn::pool;
+use selective::{SelectiveConfig, SelectiveModel, TrainConfig, Trainer};
+use wafermap::gen::SyntheticWm811k;
+
+#[test]
+fn training_is_bit_identical_across_thread_limits() {
+    let (train, _) = SyntheticWm811k::new(16).scale(0.002).seed(7).build();
+    let config = SelectiveConfig::for_grid(16);
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 1,
+        batch_size: 16,
+        learning_rate: 3e-3,
+        target_coverage: 0.75,
+        lambda: 0.5,
+        alpha: 0.5,
+        seed: 7,
+    });
+    let run = |limit: usize| {
+        pool::set_thread_limit(limit);
+        let mut model = SelectiveModel::new(&config, 7);
+        let report = trainer.run(&mut model, &train);
+        (model.state_dict(), report)
+    };
+    let (serial, _) = run(1);
+    let (pooled, _) = run(pool::default_thread_limit().max(4));
+    pool::set_thread_limit(pool::default_thread_limit());
+
+    let serial = serial.values();
+    let pooled = pooled.values();
+    assert_eq!(serial.len(), pooled.len());
+    for (a, b) in serial.iter().zip(&pooled) {
+        assert_eq!(a.shape(), b.shape());
+        assert_eq!(a.data(), b.data(), "weights diverged across thread limits");
+    }
+}

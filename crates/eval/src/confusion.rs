@@ -192,8 +192,7 @@ impl ConfusionMatrix {
         let po = self.accuracy();
         let pe: f64 = (0..self.n_classes)
             .map(|c| {
-                (self.support(c) as f64 / total as f64)
-                    * (self.predicted(c) as f64 / total as f64)
+                (self.support(c) as f64 / total as f64) * (self.predicted(c) as f64 / total as f64)
             })
             .sum();
         if (1.0 - pe).abs() < 1e-12 {

@@ -2,18 +2,72 @@
 //!
 //! Everything compute-heavy in this crate (convolution via im2col,
 //! linear layers and their backward passes) funnels into the three
-//! kernels here. The loop order is `i-k-j` so the innermost loop
-//! streams through contiguous rows of `B` and `C`, which autovectorizes
-//! well. Work is split across threads by output-row blocks once the
-//! FLOP count justifies the spawn cost.
+//! kernels here. The default implementation is cache-blocked: `B` is
+//! packed once into column panels, each row block packs `A` into
+//! register-tile order, and an `MR`×`NR` microkernel keeps the output
+//! tile in registers across a `KC`-deep strip of the contraction axis.
+//! Row blocks fan out across the persistent worker pool
+//! ([`crate::pool`]) once the FLOP count justifies the dispatch.
 //!
 //! All kernels **accumulate** (`C += ...`); callers zero `C` when they
 //! want a plain product.
+//!
+//! # Determinism
+//!
+//! For every output element the blocked kernels add contributions in
+//! strictly increasing `p` order onto the resident `C` value, using
+//! `f32::mul_add` for each step. That is exactly what the serial
+//! kernels in [`reference`] compute, so the fast path is bit-identical
+//! to the reference for every shape and every thread count: the row
+//! block / panel / microkernel grid depends only on the problem shape,
+//! and the pool only changes which thread computes which block. The
+//! padded microkernel lanes (when `m % MR != 0` or `n % NR != 0`)
+//! operate on zero-filled packing slots and are never stored.
+//!
+//! The earlier spawn-per-call implementation is preserved verbatim in
+//! [`legacy`] and selected by [`crate::pool::ComputeMode::Legacy`] so
+//! the `perf_report` benchmark can measure before/after in one process.
 
-use std::num::NonZeroUsize;
+use crate::pool::{self, ComputeMode, Shards};
 
-/// FLOP threshold (m·k·n) above which the kernels fan out to threads.
+/// Microkernel tile height (rows of `C` kept in registers).
+const MR: usize = 4;
+/// Microkernel tile width (columns of `C` kept in registers).
+const NR: usize = 16;
+/// Contraction-axis strip length per packed `A` panel.
+const KC: usize = 1024;
+/// Rows of `C` per parallel chunk (one row block = one pool chunk).
+const MC: usize = 32;
+
+/// FLOP threshold (m·k·n) above which row blocks fan out to the pool.
 const PARALLEL_THRESHOLD: usize = 1 << 18;
+/// Contraction length at or below which the `MR`×`NR` tile grid is a
+/// bad fit (per-tile `C` traffic stops amortizing) and the row-sweep
+/// kernel in [`thin_k`] runs instead.
+const THIN_K: usize = 64;
+/// Columns of `C` kept in registers per [`thin_k`] row sweep.
+const TW: usize = 32;
+/// FLOP threshold below which packing costs more than it saves and the
+/// (bit-identical) reference kernel is used directly.
+const SMALL_THRESHOLD: usize = 1 << 12;
+
+/// How `A[i,p]` is stored.
+#[derive(Clone, Copy)]
+enum ALayout {
+    /// `a[i * k + p]` (the `[m,k]` operand of [`sgemm`] / [`sgemm_nt`]).
+    RowMajor,
+    /// `a[p * m + i]` (the `[k,m]` operand of [`sgemm_tn`]).
+    KMajor,
+}
+
+/// How `B[p,j]` is stored.
+#[derive(Clone, Copy)]
+enum BLayout {
+    /// `b[p * n + j]` (the `[k,n]` operand of [`sgemm`] / [`sgemm_tn`]).
+    RowMajor,
+    /// `b[j * k + p]` (the `[n,k]` operand of [`sgemm_nt`]).
+    Transposed,
+}
 
 /// `C[m,n] += A[m,k] * B[k,n]`, all row-major.
 ///
@@ -24,28 +78,18 @@ pub fn sgemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) 
     assert!(a.len() >= m * k, "A too short: {} < {}", a.len(), m * k);
     assert!(b.len() >= k * n, "B too short: {} < {}", b.len(), k * n);
     assert!(c.len() >= m * n, "C too short: {} < {}", c.len(), m * n);
-    parallel_rows(m, k, n, c, |i0, c_block| {
-        for (di, c_row) in c_block.chunks_exact_mut(n).enumerate() {
-            let i = i0 + di;
-            let a_row = &a[i * k..(i + 1) * k];
-            for (p, &a_ip) in a_row.iter().enumerate() {
-                if a_ip == 0.0 {
-                    continue;
-                }
-                let b_row = &b[p * n..(p + 1) * n];
-                for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row) {
-                    *c_ij += a_ip * b_pj;
-                }
-            }
+    match pool::compute_mode() {
+        ComputeMode::Legacy => legacy::sgemm(m, k, n, a, b, c),
+        ComputeMode::Pooled if m * k * n < SMALL_THRESHOLD => {
+            reference::sgemm(m, k, n, a, b, c);
         }
-    });
+        ComputeMode::Pooled => blocked(m, k, n, a, b, c, ALayout::RowMajor, BLayout::RowMajor),
+    }
 }
 
 /// `C[m,n] += A[m,k] * B[n,k]^T` (i.e. `C[i,j] += Σ_p A[i,p]·B[j,p]`).
 ///
-/// Used for gradients w.r.t. inputs of linear layers
-/// (`dX = dY · W` with `W` stored `[out,in]`) would be plain [`sgemm`];
-/// this transposed form computes `dY · Wᵀ`-style products where the
+/// This transposed form computes `dY · Wᵀ`-style products where the
 /// second operand's rows are the contraction axis.
 ///
 /// # Panics
@@ -55,20 +99,13 @@ pub fn sgemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32
     assert!(a.len() >= m * k, "A too short: {} < {}", a.len(), m * k);
     assert!(b.len() >= n * k, "B too short: {} < {}", b.len(), n * k);
     assert!(c.len() >= m * n, "C too short: {} < {}", c.len(), m * n);
-    parallel_rows(m, k, n, c, |i0, c_block| {
-        for (di, c_row) in c_block.chunks_exact_mut(n).enumerate() {
-            let i = i0 + di;
-            let a_row = &a[i * k..(i + 1) * k];
-            for (j, c_ij) in c_row.iter_mut().enumerate() {
-                let b_row = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (x, y) in a_row.iter().zip(b_row) {
-                    acc += x * y;
-                }
-                *c_ij += acc;
-            }
+    match pool::compute_mode() {
+        ComputeMode::Legacy => legacy::sgemm_nt(m, k, n, a, b, c),
+        ComputeMode::Pooled if m * k * n < SMALL_THRESHOLD => {
+            reference::sgemm_nt(m, k, n, a, b, c);
         }
-    });
+        ComputeMode::Pooled => blocked(m, k, n, a, b, c, ALayout::RowMajor, BLayout::Transposed),
+    }
 }
 
 /// `C[m,n] += A[k,m]^T * B[k,n]` (i.e. `C[i,j] += Σ_p A[p,i]·B[p,j]`).
@@ -83,56 +120,451 @@ pub fn sgemm_tn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32
     assert!(a.len() >= k * m, "A too short: {} < {}", a.len(), k * m);
     assert!(b.len() >= k * n, "B too short: {} < {}", b.len(), k * n);
     assert!(c.len() >= m * n, "C too short: {} < {}", c.len(), m * n);
-    parallel_rows(m, k, n, c, |i0, c_block| {
-        for (di, c_row) in c_block.chunks_exact_mut(n).enumerate() {
-            let i = i0 + di;
-            for p in 0..k {
-                let a_pi = a[p * m + i];
-                if a_pi == 0.0 {
-                    continue;
-                }
-                let b_row = &b[p * n..(p + 1) * n];
-                for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row) {
-                    *c_ij += a_pi * b_pj;
+    match pool::compute_mode() {
+        ComputeMode::Legacy => legacy::sgemm_tn(m, k, n, a, b, c),
+        ComputeMode::Pooled if m * k * n < SMALL_THRESHOLD => {
+            reference::sgemm_tn(m, k, n, a, b, c);
+        }
+        ComputeMode::Pooled => blocked(m, k, n, a, b, c, ALayout::KMajor, BLayout::RowMajor),
+    }
+}
+
+/// Blocked driver shared by all three public kernels.
+#[allow(clippy::too_many_arguments)]
+fn blocked(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    a_layout: ALayout,
+    b_layout: BLayout,
+) {
+    if m == 0 || n == 0 || k == 0 {
+        return; // C += 0, i.e. a no-op, matching the loop-based kernels
+    }
+    if k <= THIN_K && matches!(b_layout, BLayout::RowMajor) {
+        return thin_k(m, k, n, a, b, c, a_layout);
+    }
+    let n_panels = n.div_ceil(NR);
+    // Pack all of B once, shared read-only by every row block:
+    // b_packed[(panel * k + p) * NR + jr] = B[p, panel*NR + jr], with
+    // out-of-range columns zero-filled.
+    let mut b_packed = vec![0.0f32; n_panels * k * NR];
+    pack_b(&mut b_packed, b, b_layout, k, n);
+
+    let row_blocks = m.div_ceil(MC);
+    let c = &mut c[..m * n];
+    let shards = Shards::new(c, MC * n);
+    let b_packed = &b_packed;
+    let work = |blk: usize| {
+        let c_block = shards.claim(blk);
+        let i0 = blk * MC;
+        let mb = (m - i0).min(MC);
+        let groups = mb.div_ceil(MR);
+        let mut a_packed = vec![0.0f32; groups * KC.min(k) * MR];
+        for p0 in (0..k).step_by(KC) {
+            let kc = KC.min(k - p0);
+            pack_a(&mut a_packed, a, a_layout, m, k, i0, mb, p0, kc);
+            for jp in 0..n_panels {
+                let j0 = jp * NR;
+                let nr = NR.min(n - j0);
+                let b_panel = &b_packed[(jp * k + p0) * NR..(jp * k + p0 + kc) * NR];
+                for g in 0..groups {
+                    let r0 = g * MR;
+                    let mr = MR.min(mb - r0);
+                    let a_panel = &a_packed[g * kc * MR..(g + 1) * kc * MR];
+                    microkernel(kc, a_panel, b_panel, &mut c_block[r0 * n + j0..], n, mr, nr);
                 }
             }
         }
-    });
-}
-
-/// Number of worker threads to use for a problem of `flops` size.
-fn thread_count(flops: usize) -> usize {
-    if flops < PARALLEL_THRESHOLD {
-        return 1;
-    }
-    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1).min(16)
-}
-
-/// Split the `m` output rows of `c` into contiguous blocks and run
-/// `body(first_row, block)` on each, across threads when worthwhile.
-fn parallel_rows<F>(m: usize, k: usize, n: usize, c: &mut [f32], body: F)
-where
-    F: Fn(usize, &mut [f32]) + Sync,
-{
-    let threads = thread_count(m * k * n).min(m.max(1));
-    if threads <= 1 {
-        body(0, &mut c[..m * n]);
-        return;
-    }
-    let rows_per = m.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let mut rest = &mut c[..m * n];
-        let mut row = 0usize;
-        while row < m {
-            let take = rows_per.min(m - row);
-            let (block, tail) = rest.split_at_mut(take * n);
-            let first = row;
-            let body = &body;
-            scope.spawn(move || body(first, block));
-            rest = tail;
-            row += take;
+    };
+    if m * k * n < PARALLEL_THRESHOLD {
+        // Not worth a pool dispatch; same chunk grid, same results.
+        for blk in 0..row_blocks {
+            work(blk);
         }
-    });
+    } else {
+        pool::parallel_for(row_blocks, work);
+    }
+}
+
+/// Row-sweep kernel for thin contractions (`k <= THIN_K`, row-major
+/// `B`): pairs of `C` rows are processed in `TW`-wide register strips,
+/// with the whole contraction in one pass per strip. Compared to the
+/// tile grid this touches each `C` element once, reads `B` rows as
+/// contiguous vectors (shared by both output rows, halving `B`
+/// traffic), and skips packing entirely, which wins when `k` is too
+/// short to amortize per-tile loads and stores. The accumulation order
+/// per element is unchanged: increasing `p`, `mul_add` onto the
+/// resident value.
+fn thin_k(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32], a_layout: ALayout) {
+    let row_blocks = m.div_ceil(MC);
+    let c = &mut c[..m * n];
+    let shards = Shards::new(c, MC * n);
+    let work = |blk: usize| {
+        let c_block = shards.claim(blk);
+        let i0 = blk * MC;
+        let mb = (m - i0).min(MC);
+        let mut a_rows = [[0.0f32; THIN_K]; 2];
+        let mut r = 0;
+        while r < mb {
+            let rows = (mb - r).min(2);
+            for (rr, a_row) in a_rows.iter_mut().enumerate().take(rows) {
+                for (p, slot) in a_row.iter_mut().enumerate().take(k) {
+                    *slot = a_at(a, a_layout, m, k, i0 + r + rr, p);
+                }
+            }
+            let c_rows = &mut c_block[r * n..(r + rows) * n];
+            if rows == 2 {
+                thin_sweep::<2>(k, n, &a_rows, b, c_rows);
+            } else {
+                thin_sweep::<1>(k, n, &a_rows, b, c_rows);
+            }
+            r += rows;
+        }
+    };
+    if m * k * n < PARALLEL_THRESHOLD {
+        for blk in 0..row_blocks {
+            work(blk);
+        }
+    } else {
+        pool::parallel_for(row_blocks, work);
+    }
+}
+
+/// One [`thin_k`] sweep: `ROWS` (1 or 2) adjacent `C` rows across all
+/// `TW`-wide strips of `n`, contracting over the gathered `A` scalars.
+#[inline(always)]
+fn thin_sweep<const ROWS: usize>(
+    k: usize,
+    n: usize,
+    a_rows: &[[f32; THIN_K]; 2],
+    b: &[f32],
+    c_rows: &mut [f32],
+) {
+    let mut j0 = 0;
+    while j0 + TW <= n {
+        let mut acc = [[0.0f32; TW]; ROWS];
+        for (r, acc_r) in acc.iter_mut().enumerate() {
+            *acc_r = c_rows[r * n + j0..r * n + j0 + TW].try_into().expect("C strip");
+        }
+        for p in 0..k {
+            let bv: &[f32; TW] = b[p * n + j0..p * n + j0 + TW].try_into().expect("B strip");
+            for (r, acc_r) in acc.iter_mut().enumerate() {
+                let av = a_rows[r][p];
+                for j in 0..TW {
+                    acc_r[j] = av.mul_add(bv[j], acc_r[j]);
+                }
+            }
+        }
+        for (r, acc_r) in acc.iter().enumerate() {
+            c_rows[r * n + j0..r * n + j0 + TW].copy_from_slice(acc_r);
+        }
+        j0 += TW;
+    }
+    if j0 < n {
+        // Tail strip, same element-wise order at partial width.
+        let w = n - j0;
+        let mut acc = [[0.0f32; TW]; ROWS];
+        for (r, acc_r) in acc.iter_mut().enumerate() {
+            acc_r[..w].copy_from_slice(&c_rows[r * n + j0..r * n + j0 + w]);
+        }
+        for p in 0..k {
+            let bv = &b[p * n + j0..p * n + j0 + w];
+            for (r, acc_r) in acc.iter_mut().enumerate() {
+                let av = a_rows[r][p];
+                for j in 0..w {
+                    acc_r[j] = av.mul_add(bv[j], acc_r[j]);
+                }
+            }
+        }
+        for (r, acc_r) in acc.iter().enumerate() {
+            c_rows[r * n + j0..r * n + j0 + w].copy_from_slice(&acc_r[..w]);
+        }
+    }
+}
+
+/// `A[i,p]` under either storage layout.
+#[inline(always)]
+fn a_at(a: &[f32], layout: ALayout, m: usize, k: usize, i: usize, p: usize) -> f32 {
+    match layout {
+        ALayout::RowMajor => a[i * k + p],
+        ALayout::KMajor => a[p * m + i],
+    }
+}
+
+/// `MR`×`NR` register tile: load `C`, accumulate a `kc`-strip in
+/// strictly increasing `p` order, store `C`. Padded lanes (`r >= mr`,
+/// `j >= nr`) accumulate zero-filled packing slots and are not stored.
+#[inline]
+fn microkernel(kc: usize, ap: &[f32], bp: &[f32], c: &mut [f32], ldc: usize, mr: usize, nr: usize) {
+    // Hoisted length proofs: the per-`p` slices below stay in bounds,
+    // so the hot loop compiles without per-iteration checks.
+    let ap = &ap[..kc * MR];
+    let bp = &bp[..kc * NR];
+    let mut acc = [[0.0f32; NR]; MR];
+    if nr == NR {
+        // Full-width tile (the common case): fixed-size row moves.
+        for r in 0..mr {
+            acc[r] = c[r * ldc..r * ldc + NR].try_into().expect("C tile row");
+        }
+    } else {
+        for r in 0..mr {
+            acc[r][..nr].copy_from_slice(&c[r * ldc..r * ldc + nr]);
+        }
+    }
+    for p in 0..kc {
+        let av: &[f32; MR] = ap[p * MR..(p + 1) * MR].try_into().expect("A panel stride");
+        let bv: &[f32; NR] = bp[p * NR..(p + 1) * NR].try_into().expect("B panel stride");
+        for r in 0..MR {
+            let a = av[r];
+            for j in 0..NR {
+                acc[r][j] = a.mul_add(bv[j], acc[r][j]);
+            }
+        }
+    }
+    if nr == NR {
+        for r in 0..mr {
+            c[r * ldc..r * ldc + NR].copy_from_slice(&acc[r]);
+        }
+    } else {
+        for r in 0..mr {
+            c[r * ldc..r * ldc + nr].copy_from_slice(&acc[r][..nr]);
+        }
+    }
+}
+
+/// Pack `B` into `[panel][p][jr]` order with zero-filled edge columns.
+fn pack_b(bp: &mut [f32], b: &[f32], layout: BLayout, k: usize, n: usize) {
+    let n_panels = n.div_ceil(NR);
+    match layout {
+        BLayout::RowMajor => {
+            for jp in 0..n_panels {
+                let j0 = jp * NR;
+                let w = NR.min(n - j0);
+                for p in 0..k {
+                    let dst = (jp * k + p) * NR;
+                    bp[dst..dst + w].copy_from_slice(&b[p * n + j0..p * n + j0 + w]);
+                }
+            }
+        }
+        BLayout::Transposed => {
+            for jp in 0..n_panels {
+                let j0 = jp * NR;
+                let w = NR.min(n - j0);
+                for jr in 0..w {
+                    let col = &b[(j0 + jr) * k..(j0 + jr + 1) * k];
+                    for (p, &v) in col.iter().enumerate() {
+                        bp[(jp * k + p) * NR + jr] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Pack one row block of `A` into `[group][p][r]` order with zero-filled
+/// edge rows, covering contraction columns `p0..p0 + kc`.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    ap: &mut [f32],
+    a: &[f32],
+    layout: ALayout,
+    m: usize,
+    k: usize,
+    i0: usize,
+    mb: usize,
+    p0: usize,
+    kc: usize,
+) {
+    let groups = mb.div_ceil(MR);
+    match layout {
+        ALayout::RowMajor => {
+            for g in 0..groups {
+                let base = g * kc * MR;
+                for r in 0..MR {
+                    if g * MR + r < mb {
+                        let i = i0 + g * MR + r;
+                        let row = &a[i * k + p0..i * k + p0 + kc];
+                        for (p, &v) in row.iter().enumerate() {
+                            ap[base + p * MR + r] = v;
+                        }
+                    } else {
+                        for p in 0..kc {
+                            ap[base + p * MR + r] = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+        ALayout::KMajor => {
+            // A[i,p] = a[p*m + i]: contiguous in `r` for fixed `p`.
+            for g in 0..groups {
+                let base = g * kc * MR;
+                let rows = MR.min(mb - g * MR);
+                for p in 0..kc {
+                    let src = &a[(p0 + p) * m + i0 + g * MR..][..rows];
+                    let dst = &mut ap[base + p * MR..base + (p + 1) * MR];
+                    dst[..rows].copy_from_slice(src);
+                    dst[rows..].fill(0.0);
+                }
+            }
+        }
+    }
+}
+
+/// Serial, single-thread reference kernels.
+///
+/// These define the numerical contract: per output element,
+/// contributions are folded onto the resident `C` value in strictly
+/// increasing `p` order with `f32::mul_add`. The blocked kernels are
+/// bit-identical to these for every shape and thread count, which is
+/// what the property tests in `tests/parallel_determinism.rs` assert.
+pub mod reference {
+    /// Reference for [`super::sgemm`].
+    pub fn sgemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+        for i in 0..m {
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for p in 0..k {
+                let a_ip = a[i * k + p];
+                let b_row = &b[p * n..(p + 1) * n];
+                for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row) {
+                    *c_ij = a_ip.mul_add(b_pj, *c_ij);
+                }
+            }
+        }
+    }
+
+    /// Reference for [`super::sgemm_nt`] (`B` stored `[n,k]`).
+    pub fn sgemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+        for i in 0..m {
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for p in 0..k {
+                let a_ip = a[i * k + p];
+                for (j, c_ij) in c_row.iter_mut().enumerate() {
+                    *c_ij = a_ip.mul_add(b[j * k + p], *c_ij);
+                }
+            }
+        }
+    }
+
+    /// Reference for [`super::sgemm_tn`] (`A` stored `[k,m]`).
+    pub fn sgemm_tn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+        for i in 0..m {
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for p in 0..k {
+                let a_pi = a[p * m + i];
+                let b_row = &b[p * n..(p + 1) * n];
+                for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row) {
+                    *c_ij = a_pi.mul_add(b_pj, *c_ij);
+                }
+            }
+        }
+    }
+}
+
+/// The pre-pool implementation, preserved verbatim (including its
+/// zero-skip branches and spawn-per-call threading) as the baseline the
+/// `perf_report` binary measures against. Selected globally via
+/// [`crate::pool::ComputeMode::Legacy`]; not used on the default path.
+pub mod legacy {
+    use std::num::NonZeroUsize;
+
+    /// FLOP threshold (m·k·n) above which the kernels fan out to threads.
+    const PARALLEL_THRESHOLD: usize = 1 << 18;
+
+    /// Legacy [`super::sgemm`].
+    pub fn sgemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+        parallel_rows(m, k, n, c, |i0, c_block| {
+            for (di, c_row) in c_block.chunks_exact_mut(n).enumerate() {
+                let i = i0 + di;
+                let a_row = &a[i * k..(i + 1) * k];
+                for (p, &a_ip) in a_row.iter().enumerate() {
+                    if a_ip == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[p * n..(p + 1) * n];
+                    for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row) {
+                        *c_ij += a_ip * b_pj;
+                    }
+                }
+            }
+        });
+    }
+
+    /// Legacy [`super::sgemm_nt`].
+    pub fn sgemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+        parallel_rows(m, k, n, c, |i0, c_block| {
+            for (di, c_row) in c_block.chunks_exact_mut(n).enumerate() {
+                let i = i0 + di;
+                let a_row = &a[i * k..(i + 1) * k];
+                for (j, c_ij) in c_row.iter_mut().enumerate() {
+                    let b_row = &b[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (x, y) in a_row.iter().zip(b_row) {
+                        acc += x * y;
+                    }
+                    *c_ij += acc;
+                }
+            }
+        });
+    }
+
+    /// Legacy [`super::sgemm_tn`].
+    pub fn sgemm_tn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+        parallel_rows(m, k, n, c, |i0, c_block| {
+            for (di, c_row) in c_block.chunks_exact_mut(n).enumerate() {
+                let i = i0 + di;
+                for p in 0..k {
+                    let a_pi = a[p * m + i];
+                    if a_pi == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[p * n..(p + 1) * n];
+                    for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row) {
+                        *c_ij += a_pi * b_pj;
+                    }
+                }
+            }
+        });
+    }
+
+    /// Number of worker threads to use for a problem of `flops` size.
+    fn thread_count(flops: usize) -> usize {
+        if flops < PARALLEL_THRESHOLD {
+            return 1;
+        }
+        std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1).min(16)
+    }
+
+    /// Split the `m` output rows of `c` into contiguous blocks and run
+    /// `body(first_row, block)` on each, across threads when worthwhile.
+    fn parallel_rows<F>(m: usize, k: usize, n: usize, c: &mut [f32], body: F)
+    where
+        F: Fn(usize, &mut [f32]) + Sync,
+    {
+        let threads = thread_count(m * k * n).min(m.max(1));
+        if threads <= 1 {
+            body(0, &mut c[..m * n]);
+            return;
+        }
+        let rows_per = m.div_ceil(threads);
+        std::thread::scope(|scope| {
+            let mut rest = &mut c[..m * n];
+            let mut row = 0usize;
+            while row < m {
+                let take = rows_per.min(m - row);
+                let (block, tail) = rest.split_at_mut(take * n);
+                let first = row;
+                let body = &body;
+                scope.spawn(move || body(first, block));
+                rest = tail;
+                row += take;
+            }
+        });
+    }
 }
 
 #[cfg(test)]
@@ -190,7 +622,7 @@ mod tests {
         let (m, k, n) = (5, 6, 4);
         let a = rand_vec(m * k, 3);
         let bt = rand_vec(n * k, 4); // B stored [n,k]
-        // Build B [k,n] explicitly for the naive reference.
+                                     // Build B [k,n] explicitly for the naive reference.
         let mut b = vec![0.0; k * n];
         for j in 0..n {
             for p in 0..k {
@@ -235,6 +667,47 @@ mod tests {
         let expect = naive(m, k, n, &a, &b);
         for (x, y) in c.iter().zip(&expect) {
             assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn blocked_is_bit_identical_to_reference() {
+        // Shapes straddling every edge case of the MR/NR/MC/KC grid and
+        // the thin-k row sweep (k <= THIN_K with and without a tail
+        // strip narrower than TW).
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 17),
+            (4, 16, 16),
+            (33, 7, 31),
+            (65, 130, 19),
+            (37, 1030, 33),
+            (37, 33, 129),
+            (5, 64, 64),
+        ] {
+            let a = rand_vec(m * k, 11);
+            let b = rand_vec(k * n, 12);
+            let mut c = rand_vec(m * n, 13);
+            let mut expect = c.clone();
+            blocked(m, k, n, &a, &b, &mut c, ALayout::RowMajor, BLayout::RowMajor);
+            reference::sgemm(m, k, n, &a, &b, &mut expect);
+            assert_eq!(c, expect, "shape ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn legacy_mode_matches_default_within_tolerance() {
+        let (m, k, n) = (9, 33, 21);
+        let a = rand_vec(m * k, 14);
+        let b = rand_vec(k * n, 15);
+        let mut fast = vec![0.0; m * n];
+        sgemm(m, k, n, &a, &b, &mut fast);
+        pool::set_compute_mode(ComputeMode::Legacy);
+        let mut slow = vec![0.0; m * n];
+        sgemm(m, k, n, &a, &b, &mut slow);
+        pool::set_compute_mode(ComputeMode::Pooled);
+        for (x, y) in fast.iter().zip(&slow) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
         }
     }
 

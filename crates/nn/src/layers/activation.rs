@@ -38,12 +38,8 @@ impl Layer for Relu {
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let mask = self.mask.as_ref().expect("backward before forward");
         assert_eq!(grad_output.numel(), mask.len(), "bad grad shape for Relu");
-        let data = grad_output
-            .data()
-            .iter()
-            .zip(mask)
-            .map(|(&g, &on)| if on { g } else { 0.0 })
-            .collect();
+        let data =
+            grad_output.data().iter().zip(mask).map(|(&g, &on)| if on { g } else { 0.0 }).collect();
         Tensor::from_vec(data, grad_output.shape())
     }
 }
@@ -86,12 +82,8 @@ impl Layer for Sigmoid {
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let out = self.output.as_ref().expect("backward before forward");
         assert_eq!(grad_output.numel(), out.numel(), "bad grad shape for Sigmoid");
-        let data = grad_output
-            .data()
-            .iter()
-            .zip(out.data())
-            .map(|(&g, &y)| g * y * (1.0 - y))
-            .collect();
+        let data =
+            grad_output.data().iter().zip(out.data()).map(|(&g, &y)| g * y * (1.0 - y)).collect();
         Tensor::from_vec(data, grad_output.shape())
     }
 }
@@ -131,12 +123,8 @@ impl Layer for Tanh {
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let out = self.output.as_ref().expect("backward before forward");
         assert_eq!(grad_output.numel(), out.numel(), "bad grad shape for Tanh");
-        let data = grad_output
-            .data()
-            .iter()
-            .zip(out.data())
-            .map(|(&g, &y)| g * (1.0 - y * y))
-            .collect();
+        let data =
+            grad_output.data().iter().zip(out.data()).map(|(&g, &y)| g * (1.0 - y * y)).collect();
         Tensor::from_vec(data, grad_output.shape())
     }
 }

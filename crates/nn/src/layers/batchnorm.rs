@@ -168,9 +168,7 @@ impl Layer for BatchNorm2d {
             for i in 0..n {
                 let base = (i * c + ch) * plane;
                 for j in 0..plane {
-                    let term = count * go[base + j]
-                        - dbeta
-                        - cache.x_hat[base + j] * dgamma;
+                    let term = count * go[base + j] - dbeta - cache.x_hat[base + j] * dgamma;
                     grad_input.data_mut()[base + j] = g * inv_std / count * term;
                 }
             }

@@ -2,6 +2,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::gemm::{sgemm, sgemm_nt, sgemm_tn};
+use crate::pool::{self, Shards};
 use crate::{init, Layer, Param, Tensor};
 
 /// 2-D convolution (stride 1) via im2col + GEMM.
@@ -84,8 +85,10 @@ impl Conv2d {
     /// Panics if the padded input is smaller than the kernel.
     #[must_use]
     pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
-        let oh = (h + 2 * self.pad).checked_sub(self.kernel - 1).expect("input smaller than kernel");
-        let ow = (w + 2 * self.pad).checked_sub(self.kernel - 1).expect("input smaller than kernel");
+        let oh =
+            (h + 2 * self.pad).checked_sub(self.kernel - 1).expect("input smaller than kernel");
+        let ow =
+            (w + 2 * self.pad).checked_sub(self.kernel - 1).expect("input smaller than kernel");
         (oh, ow)
     }
 
@@ -120,11 +123,8 @@ impl Conv2d {
                         let src_row = &plane[(sy as usize) * w..(sy as usize + 1) * w];
                         for (ox, d) in dst_row.iter_mut().enumerate() {
                             let sx = ox as isize + kx as isize - pad;
-                            *d = if sx < 0 || sx >= w as isize {
-                                0.0
-                            } else {
-                                src_row[sx as usize]
-                            };
+                            *d =
+                                if sx < 0 || sx >= w as isize { 0.0 } else { src_row[sx as usize] };
                         }
                     }
                     row += 1;
@@ -177,17 +177,26 @@ impl Layer for Conv2d {
         let mut cols = vec![0.0f32; n * col_size];
         let mut out = Tensor::zeros(&[n, self.out_channels, oh, ow]);
         let out_plane = self.out_channels * oh * ow;
-        for i in 0..n {
-            let sample = &input.data()[i * c * h * w..(i + 1) * c * h * w];
-            let col = &mut cols[i * col_size..(i + 1) * col_size];
-            self.im2col(sample, h, w, col);
-            let out_n = &mut out.data_mut()[i * out_plane..(i + 1) * out_plane];
-            // out_n [C_out, OH·OW] = W [C_out, CKK] · col [CKK, OH·OW]
-            sgemm(self.out_channels, col_rows, oh * ow, self.weight.value.data(), col, out_n);
-            for (co, chunk) in out_n.chunks_exact_mut(oh * ow).enumerate() {
-                let b = self.bias.value.data()[co];
-                chunk.iter_mut().for_each(|v| *v += b);
-            }
+        if oh * ow > 0 {
+            // One chunk per sample: im2col buffers and output planes
+            // are disjoint per-sample shards, so the batch fans out
+            // across the worker pool with no cross-sample state.
+            let input_data = input.data();
+            let col_shards = Shards::new(&mut cols, col_size);
+            let out_shards = Shards::new(out.data_mut(), out_plane);
+            let this = &*self;
+            pool::parallel_for(n, |i| {
+                let sample = &input_data[i * c * h * w..(i + 1) * c * h * w];
+                let col = col_shards.claim(i);
+                this.im2col(sample, h, w, col);
+                let out_n = out_shards.claim(i);
+                // out_n [C_out, OH·OW] = W [C_out, CKK] · col [CKK, OH·OW]
+                sgemm(this.out_channels, col_rows, oh * ow, this.weight.value.data(), col, out_n);
+                for (co, chunk) in out_n.chunks_exact_mut(oh * ow).enumerate() {
+                    let b = this.bias.value.data()[co];
+                    chunk.iter_mut().for_each(|v| *v += b);
+                }
+            });
         }
         self.cache = Some(ConvCache { input_shape: [n, c, h, w], out_hw: (oh, ow), cols });
         out
@@ -205,29 +214,46 @@ impl Layer for Conv2d {
         let col_rows = self.col_rows();
         let col_size = col_rows * oh * ow;
         let out_plane = self.out_channels * oh * ow;
+        let c_out = self.out_channels;
+        let w_len = self.weight.grad.numel();
         let mut grad_input = Tensor::zeros(&[n, c, h, w]);
-        let mut dcol = vec![0.0f32; col_size];
+        // Per-sample weight/bias gradient partials, reduced serially in
+        // sample order below so the result is independent of how the
+        // pool schedules samples across threads.
+        let mut dw_partials = vec![0.0f32; n * w_len];
+        let mut db_partials = vec![0.0f32; n * c_out];
+        if oh * ow > 0 {
+            let dout = grad_output.data();
+            let cols = &cache.cols;
+            let dw_shards = Shards::new(&mut dw_partials, w_len);
+            let db_shards = Shards::new(&mut db_partials, c_out);
+            let gi_shards = Shards::new(grad_input.data_mut(), c * h * w);
+            let this = &*self;
+            pool::parallel_for(n, |i| {
+                let dout_n = &dout[i * out_plane..(i + 1) * out_plane];
+                let col = &cols[i * col_size..(i + 1) * col_size];
+                // dW_i [C_out, CKK] = dOut_i [C_out, OH·OW] · col_iᵀ
+                sgemm_nt(c_out, oh * ow, col_rows, dout_n, col, dw_shards.claim(i));
+                // db_i[co] = Σ dOut_i[co, :]
+                let db_i = db_shards.claim(i);
+                for (co, chunk) in dout_n.chunks_exact(oh * ow).enumerate() {
+                    db_i[co] = chunk.iter().sum::<f32>();
+                }
+                // dcol [CKK, OH·OW] = Wᵀ · dOut_i
+                let mut dcol = vec![0.0f32; col_size];
+                sgemm_tn(col_rows, c_out, oh * ow, this.weight.value.data(), dout_n, &mut dcol);
+                this.col2im(&dcol, h, w, gi_shards.claim(i));
+            });
+        }
         for i in 0..n {
-            let dout_n = &grad_output.data()[i * out_plane..(i + 1) * out_plane];
-            let col = &cache.cols[i * col_size..(i + 1) * col_size];
-            // dW [C_out, CKK] += dOut [C_out, OH·OW] · colᵀ
-            sgemm_nt(
-                self.out_channels,
-                oh * ow,
-                col_rows,
-                dout_n,
-                col,
-                self.weight.grad.data_mut(),
-            );
-            // db[co] += Σ dOut[co, :]
-            for (co, chunk) in dout_n.chunks_exact(oh * ow).enumerate() {
-                self.bias.grad.data_mut()[co] += chunk.iter().sum::<f32>();
+            let dw_i = &dw_partials[i * w_len..(i + 1) * w_len];
+            for (dst, &src) in self.weight.grad.data_mut().iter_mut().zip(dw_i) {
+                *dst += src;
             }
-            // dcol [CKK, OH·OW] = Wᵀ · dOut
-            dcol.iter_mut().for_each(|v| *v = 0.0);
-            sgemm_tn(col_rows, self.out_channels, oh * ow, self.weight.value.data(), dout_n, &mut dcol);
-            let grad_sample = &mut grad_input.data_mut()[i * c * h * w..(i + 1) * c * h * w];
-            self.col2im(&dcol, h, w, grad_sample);
+            let db_i = &db_partials[i * c_out..(i + 1) * c_out];
+            for (dst, &src) in self.bias.grad.data_mut().iter_mut().zip(db_i) {
+                *dst += src;
+            }
         }
         grad_input
     }

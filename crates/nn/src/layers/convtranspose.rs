@@ -1,6 +1,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::pool::{self, Shards};
 use crate::{init, Layer, Param, Tensor};
 
 /// Transposed ("de-") convolution.
@@ -92,32 +93,38 @@ impl Layer for ConvTranspose2d {
         let k = self.kernel;
         let s = self.stride;
         let src = input.data();
-        let dst = out.data_mut();
-        for i in 0..n {
-            for co in 0..self.out_channels {
-                let dst_plane =
-                    &mut dst[(i * self.out_channels + co) * oh * ow..][..oh * ow];
-                let b = self.bias.value.data()[co];
-                dst_plane.iter_mut().for_each(|v| *v = b);
-                for ci in 0..self.in_channels {
-                    let src_plane = &src[(i * self.in_channels + ci) * h * w..][..h * w];
-                    for iy in 0..h {
-                        for ix in 0..w {
-                            let v = src_plane[iy * w + ix];
-                            if v == 0.0 {
-                                continue;
-                            }
-                            for ky in 0..k {
-                                let oy = iy * s + ky;
-                                for kx in 0..k {
-                                    let ox = ix * s + kx;
-                                    dst_plane[oy * ow + ox] += v * self.w_at(ci, co, ky, kx);
+        let out_size = self.out_channels * oh * ow;
+        {
+            // One pool chunk per sample, scattering into its own
+            // disjoint output shard.
+            let out_shards = Shards::new(out.data_mut(), out_size);
+            let this = &*self;
+            pool::parallel_for(n, |i| {
+                let dst_sample = out_shards.claim(i);
+                for co in 0..this.out_channels {
+                    let dst_plane = &mut dst_sample[co * oh * ow..][..oh * ow];
+                    let b = this.bias.value.data()[co];
+                    dst_plane.iter_mut().for_each(|v| *v = b);
+                    for ci in 0..this.in_channels {
+                        let src_plane = &src[(i * this.in_channels + ci) * h * w..][..h * w];
+                        for iy in 0..h {
+                            for ix in 0..w {
+                                let v = src_plane[iy * w + ix];
+                                if v == 0.0 {
+                                    continue;
+                                }
+                                for ky in 0..k {
+                                    let oy = iy * s + ky;
+                                    for kx in 0..k {
+                                        let ox = ix * s + kx;
+                                        dst_plane[oy * ow + ox] += v * this.w_at(ci, co, ky, kx);
+                                    }
                                 }
                             }
                         }
                     }
                 }
-            }
+            });
         }
         self.cache = Some(DeconvCache { input: input.clone(), out_hw: (oh, ow) });
         out
@@ -136,49 +143,67 @@ impl Layer for ConvTranspose2d {
         );
         let k = self.kernel;
         let s = self.stride;
+        let c_out = self.out_channels;
+        let w_len = self.weight.grad.numel();
         let mut grad_input = Tensor::zeros(&[n, c, h, w]);
         let go = grad_output.data();
         let src = input.data();
 
-        // Bias gradient: sum of output gradients per channel.
-        for i in 0..n {
-            for co in 0..self.out_channels {
-                let plane = &go[(i * self.out_channels + co) * oh * ow..][..oh * ow];
-                self.bias.grad.data_mut()[co] += plane.iter().sum::<f32>();
-            }
-        }
-
-        // Input and weight gradients (gather form of the scatter).
-        let gi = grad_input.data_mut();
-        let mut wgrad = vec![0.0f32; self.weight.grad.numel()];
-        for i in 0..n {
-            for ci in 0..self.in_channels {
-                let src_plane = &src[(i * self.in_channels + ci) * h * w..][..h * w];
-                let gi_plane = &mut gi[(i * self.in_channels + ci) * h * w..][..h * w];
-                for co in 0..self.out_channels {
-                    let go_plane = &go[(i * self.out_channels + co) * oh * ow..][..oh * ow];
-                    for iy in 0..h {
-                        for ix in 0..w {
-                            let x_v = src_plane[iy * w + ix];
-                            let mut acc = 0.0f32;
-                            for ky in 0..k {
-                                let oy = iy * s + ky;
-                                for kx in 0..k {
-                                    let ox = ix * s + kx;
-                                    let g = go_plane[oy * ow + ox];
-                                    acc += g * self.w_at(ci, co, ky, kx);
-                                    wgrad[((ci * self.out_channels + co) * k + ky) * k + kx] +=
-                                        g * x_v;
+        // Per-sample weight/bias gradient partials, reduced serially in
+        // sample order below so the result is independent of how the
+        // pool schedules samples across threads. The input gradient is
+        // naturally per-sample (disjoint shards).
+        let mut dw_partials = vec![0.0f32; n * w_len];
+        let mut db_partials = vec![0.0f32; n * c_out];
+        {
+            let dw_shards = Shards::new(&mut dw_partials, w_len);
+            let db_shards = Shards::new(&mut db_partials, c_out);
+            let gi_shards = Shards::new(grad_input.data_mut(), c * h * w);
+            let this = &*self;
+            pool::parallel_for(n, |i| {
+                // Bias gradient: sum of output gradients per channel.
+                let db_i = db_shards.claim(i);
+                for (co, slot) in db_i.iter_mut().enumerate() {
+                    let plane = &go[(i * c_out + co) * oh * ow..][..oh * ow];
+                    *slot = plane.iter().sum::<f32>();
+                }
+                // Input and weight gradients (gather form of the scatter).
+                let wgrad = dw_shards.claim(i);
+                let gi_sample = gi_shards.claim(i);
+                for ci in 0..this.in_channels {
+                    let src_plane = &src[(i * this.in_channels + ci) * h * w..][..h * w];
+                    let gi_plane = &mut gi_sample[ci * h * w..][..h * w];
+                    for co in 0..c_out {
+                        let go_plane = &go[(i * c_out + co) * oh * ow..][..oh * ow];
+                        for iy in 0..h {
+                            for ix in 0..w {
+                                let x_v = src_plane[iy * w + ix];
+                                let mut acc = 0.0f32;
+                                for ky in 0..k {
+                                    let oy = iy * s + ky;
+                                    for kx in 0..k {
+                                        let ox = ix * s + kx;
+                                        let g = go_plane[oy * ow + ox];
+                                        acc += g * this.w_at(ci, co, ky, kx);
+                                        wgrad[((ci * c_out + co) * k + ky) * k + kx] += g * x_v;
+                                    }
                                 }
+                                gi_plane[iy * w + ix] += acc;
                             }
-                            gi_plane[iy * w + ix] += acc;
                         }
                     }
                 }
-            }
+            });
         }
-        for (g, add) in self.weight.grad.data_mut().iter_mut().zip(&wgrad) {
-            *g += add;
+        for i in 0..n {
+            let db_i = &db_partials[i * c_out..(i + 1) * c_out];
+            for (dst, &src) in self.bias.grad.data_mut().iter_mut().zip(db_i) {
+                *dst += src;
+            }
+            let dw_i = &dw_partials[i * w_len..(i + 1) * w_len];
+            for (dst, &src) in self.weight.grad.data_mut().iter_mut().zip(dw_i) {
+                *dst += src;
+            }
         }
         grad_input
     }

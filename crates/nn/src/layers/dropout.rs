@@ -82,8 +82,7 @@ impl Layer for Dropout {
             None => grad_output.clone(),
             Some(mask) => {
                 assert_eq!(grad_output.numel(), mask.len(), "bad grad shape for Dropout");
-                let data =
-                    grad_output.data().iter().zip(mask).map(|(&g, &m)| g * m).collect();
+                let data = grad_output.data().iter().zip(mask).map(|(&g, &m)| g * m).collect();
                 Tensor::from_vec(data, grad_output.shape())
             }
         }

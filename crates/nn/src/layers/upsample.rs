@@ -65,11 +65,7 @@ impl Layer for Upsample2d {
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let [n, c, h, w] = self.input_shape.expect("backward before forward");
         let f = self.factor;
-        assert_eq!(
-            grad_output.shape(),
-            &[n, c, h * f, w * f],
-            "bad grad shape for Upsample2d"
-        );
+        assert_eq!(grad_output.shape(), &[n, c, h * f, w * f], "bad grad shape for Upsample2d");
         let mut grad_input = Tensor::zeros(&[n, c, h, w]);
         let src = grad_output.data();
         let dst = grad_input.data_mut();

@@ -37,7 +37,10 @@
 //! adam.step(&mut net);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the worker pool is the one module
+// allowed to opt back in (lifetime-erased job pointers and disjoint
+// slice shards, each with documented invariants).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod param;
@@ -49,6 +52,7 @@ pub mod init;
 pub mod layers;
 pub mod loss;
 pub mod optim;
+pub mod pool;
 pub mod schedule;
 pub mod serialize;
 

@@ -104,12 +104,9 @@ pub fn softmax_cross_entropy(
         None => n as f32,
     };
     assert!(total_weight > 0.0, "total sample weight must be positive");
-    let loss = losses
-        .iter()
-        .enumerate()
-        .map(|(i, l)| l * weights.map_or(1.0, |w| w[i]))
-        .sum::<f32>()
-        / total_weight;
+    let loss =
+        losses.iter().enumerate().map(|(i, l)| l * weights.map_or(1.0, |w| w[i])).sum::<f32>()
+            / total_weight;
     let mut grad = cross_entropy_grad_rows(&probs, labels);
     for (i, row) in grad.data_mut().chunks_exact_mut(c).enumerate() {
         let coef = weights.map_or(1.0, |w| w[i]) / total_weight;

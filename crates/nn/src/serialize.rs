@@ -81,8 +81,7 @@ impl StateDict {
     /// Propagates file-creation and serialization errors.
     pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), std::io::Error> {
         let file = std::fs::File::create(path)?;
-        serde_json::to_writer(std::io::BufWriter::new(file), self)
-            .map_err(std::io::Error::other)
+        serde_json::to_writer(std::io::BufWriter::new(file), self).map_err(std::io::Error::other)
     }
 
     /// Deserialize from a JSON file written by [`StateDict::save`].
@@ -167,9 +166,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut a = Sequential::new().with(Linear::new(4, 3, &mut rng));
         let snap = StateDict::capture(&mut a);
-        let mut b = Sequential::new()
-            .with(Linear::new(4, 3, &mut rng))
-            .with(Linear::new(3, 2, &mut rng));
+        let mut b =
+            Sequential::new().with(Linear::new(4, 3, &mut rng)).with(Linear::new(3, 2, &mut rng));
         assert!(matches!(snap.restore(&mut b), Err(RestoreError::CountMismatch { .. })));
     }
 

@@ -119,7 +119,13 @@ impl Tensor {
     #[must_use]
     pub fn reshaped(&self, shape: &[usize]) -> Tensor {
         let numel = checked_numel(shape);
-        assert_eq!(numel, self.data.len(), "reshape {:?} -> {:?} changes element count", self.shape, shape);
+        assert_eq!(
+            numel,
+            self.data.len(),
+            "reshape {:?} -> {:?} changes element count",
+            self.shape,
+            shape
+        );
         Tensor { shape: shape.to_vec(), data: self.data.clone() }
     }
 
@@ -130,7 +136,13 @@ impl Tensor {
     /// Panics if the new shape's element count differs.
     pub fn reshape(&mut self, shape: &[usize]) {
         let numel = checked_numel(shape);
-        assert_eq!(numel, self.data.len(), "reshape {:?} -> {:?} changes element count", self.shape, shape);
+        assert_eq!(
+            numel,
+            self.data.len(),
+            "reshape {:?} -> {:?} changes element count",
+            self.shape,
+            shape
+        );
         self.shape = shape.to_vec();
     }
 
@@ -293,10 +305,7 @@ mod tests {
     fn matmul_identity() {
         let mut rng = StdRng::seed_from_u64(0);
         let a = Tensor::randn(&[3, 3], 1.0, &mut rng);
-        let eye = Tensor::from_vec(
-            vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0],
-            &[3, 3],
-        );
+        let eye = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0], &[3, 3]);
         let c = a.matmul(&eye);
         for (x, y) in c.data().iter().zip(a.data()) {
             assert!((x - y).abs() < 1e-6);

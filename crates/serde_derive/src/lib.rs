@@ -1,0 +1,441 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! the shapes this workspace actually uses — non-generic structs with
+//! named fields, and enums with unit / tuple / struct variants —
+//! without depending on `syn`/`quote` (unavailable offline). The
+//! derive input is parsed directly from the `proc_macro` token stream
+//! and the generated impl is emitted as source text.
+//!
+//! Supported field attributes: `#[serde(skip)]` and
+//! `#[serde(skip, default = "path")]`. Anything else (renames,
+//! generics, tuple structs) fails loudly at compile time rather than
+//! silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed `#[derive]` input: a struct or an enum.
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+    default_fn: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+/// Derive `serde::Serialize` (the workspace's offline stand-in).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let out = match &item {
+        Item::Struct { name, fields } => {
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{\n\
+                 let mut fields: Vec<(String, serde::Value)> = Vec::new();\n\
+                 {body}\
+                 let _ = &mut fields;\n\
+                 serde::Value::Object(fields)\n\
+                 }}\n}}\n",
+                body = fields
+                    .iter()
+                    .filter(|f| !f.skip)
+                    .map(|f| format!(
+                        "fields.push((\"{n}\".to_string(), \
+                         serde::Serialize::to_value(&self.{n})));\n",
+                        n = f.name
+                    ))
+                    .collect::<String>()
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants.iter().map(|v| serialize_variant_arm(name, v)).collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{\n\
+                 match self {{\n{arms}}}\n\
+                 }}\n}}\n"
+            )
+        }
+    };
+    out.parse().expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derive `serde::Deserialize` (the workspace's offline stand-in).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let out = match &item {
+        Item::Struct { name, fields } => {
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                 if value.as_object().is_none() {{\n\
+                 return Err(serde::Error::expected(\"object for `{name}`\", value));\n\
+                 }}\n\
+                 Ok({name} {{\n{body}}})\n\
+                 }}\n}}\n",
+                body = struct_fields_from_value(name, fields, "value")
+            )
+        }
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    out.parse().expect("serde_derive generated invalid Deserialize impl")
+}
+
+fn serialize_variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.kind {
+        VariantKind::Unit => {
+            format!("{enum_name}::{vn} => serde::Value::String(\"{vn}\".to_string()),\n")
+        }
+        VariantKind::Tuple(1) => format!(
+            "{enum_name}::{vn}(f0) => serde::Value::Object(vec![(\"{vn}\".to_string(), \
+             serde::Serialize::to_value(f0))]),\n"
+        ),
+        VariantKind::Tuple(n) => {
+            let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let items: Vec<String> =
+                binders.iter().map(|b| format!("serde::Serialize::to_value({b})")).collect();
+            format!(
+                "{enum_name}::{vn}({binds}) => serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                 serde::Value::Array(vec![{items}]))]),\n",
+                binds = binders.join(", "),
+                items = items.join(", ")
+            )
+        }
+        VariantKind::Struct(fields) => {
+            let binds: Vec<&str> =
+                fields.iter().filter(|f| !f.skip).map(|f| f.name.as_str()).collect();
+            let pushes: String = binds
+                .iter()
+                .map(|n| {
+                    format!(
+                        "fields.push((\"{n}\".to_string(), serde::Serialize::to_value({n})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "{enum_name}::{vn} {{ {binds}{dots} }} => {{\n\
+                 let mut fields: Vec<(String, serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Value::Object(fields))])\n\
+                 }},\n",
+                binds = binds.join(", "),
+                dots = if binds.len() == fields.len() { "" } else { ", .." }
+            )
+        }
+    }
+}
+
+/// Field initializers `name: <expr>,` for deserializing a struct (or
+/// struct variant) out of the object value named by `src`.
+fn struct_fields_from_value(ty_label: &str, fields: &[Field], src: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let n = &f.name;
+            if f.skip {
+                match &f.default_fn {
+                    Some(path) => format!("{n}: {path}(),\n"),
+                    None => format!("{n}: Default::default(),\n"),
+                }
+            } else {
+                format!(
+                    "{n}: match {src}.get(\"{n}\") {{\n\
+                     Some(v) => serde::Deserialize::from_value(v)?,\n\
+                     None => return Err(serde::Error::missing_field(\"{ty_label}\", \"{n}\")),\n\
+                     }},\n"
+                )
+            }
+        })
+        .collect()
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| format!("\"{vn}\" => return Ok({name}::{vn}),\n", vn = v.name))
+        .collect();
+    let tagged_arms: String = variants
+        .iter()
+        .filter_map(|v| {
+            let vn = &v.name;
+            match &v.kind {
+                VariantKind::Unit => None,
+                VariantKind::Tuple(1) => Some(format!(
+                    "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::from_value(inner)?)),\n"
+                )),
+                VariantKind::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "\"{vn}\" => {{\n\
+                         let items = inner.as_array()\
+                         .ok_or_else(|| serde::Error::expected(\"array for `{name}::{vn}`\", inner))?;\n\
+                         if items.len() != {n} {{\n\
+                         return Err(serde::Error::custom(\
+                         \"wrong tuple arity for `{name}::{vn}`\"));\n\
+                         }}\n\
+                         Ok({name}::{vn}({elems}))\n\
+                         }},\n",
+                        elems = elems.join(", ")
+                    ))
+                }
+                VariantKind::Struct(fields) => Some(format!(
+                    "\"{vn}\" => {{\n\
+                     if inner.as_object().is_none() {{\n\
+                     return Err(serde::Error::expected(\"object for `{name}::{vn}`\", inner));\n\
+                     }}\n\
+                     Ok({name}::{vn} {{\n{body}}})\n\
+                     }},\n",
+                    body = struct_fields_from_value(&format!("{name}::{vn}"), fields, "inner")
+                )),
+            }
+        })
+        .collect();
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {{\n\
+         if let Some(s) = value.as_str() {{\n\
+         match s {{\n\
+         {unit_arms}\
+         other => return Err(serde::Error::custom(\
+         format!(\"unknown variant `{{other}}` of `{name}`\"))),\n\
+         }}\n\
+         }}\n\
+         let obj = value.as_object()\
+         .ok_or_else(|| serde::Error::expected(\"string or object for `{name}`\", value))?;\n\
+         if obj.len() != 1 {{\n\
+         return Err(serde::Error::custom(\"expected single-key object for enum `{name}`\"));\n\
+         }}\n\
+         let (tag, inner) = &obj[0];\n\
+         let _ = inner;\n\
+         match tag.as_str() {{\n\
+         {tagged_arms}\
+         other => Err(serde::Error::custom(\
+         format!(\"unknown variant `{{other}}` of `{name}`\"))),\n\
+         }}\n\
+         }}\n}}\n"
+    )
+}
+
+// ---- token-stream parsing -------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(peek_punct(&tokens, pos), Some('<')) {
+        panic!("serde stand-in derive does not support generic type `{name}`");
+    }
+    let body = match tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde stand-in derive: expected braced body for `{name}`, got {other:?} \
+             (tuple/unit structs are not supported)"
+        ),
+    };
+    match keyword.as_str() {
+        "struct" => Item::Struct { name, fields: parse_fields(body) },
+        "enum" => Item::Enum { name, variants: parse_variants(body) },
+        other => panic!("serde stand-in derive: unexpected item keyword `{other}`"),
+    }
+}
+
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let (skip, default_fn) = collect_serde_attrs(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        let name = expect_ident(&tokens, &mut pos);
+        match peek_punct(&tokens, pos) {
+            Some(':') => pos += 1,
+            _ => panic!("serde stand-in derive: expected `:` after field `{name}`"),
+        }
+        skip_type(&tokens, &mut pos);
+        fields.push(Field { name, skip, default_fn });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        let name = expect_ident(&tokens, &mut pos);
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_elements(g.stream());
+                pos += 1;
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                pos += 1;
+                VariantKind::Struct(parse_fields(inner))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present, then
+        // the separating comma.
+        while pos < tokens.len() && !matches!(peek_punct(&tokens, pos), Some(',')) {
+            pos += 1;
+        }
+        if pos < tokens.len() {
+            pos += 1; // the comma
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+/// Number of comma-separated elements at the top level of a token
+/// stream (angle-bracket aware; groups are atomic tokens already).
+fn count_top_level_elements(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    count
+}
+
+/// Consume attributes, returning any `#[serde(...)]` skip/default
+/// settings found among them.
+fn collect_serde_attrs(tokens: &[TokenTree], pos: &mut usize) -> (bool, Option<String>) {
+    let mut skip = false;
+    let mut default_fn = None;
+    while matches!(peek_punct(tokens, *pos), Some('#')) {
+        *pos += 1;
+        let group = match tokens.get(*pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g.stream(),
+            other => panic!("serde stand-in derive: malformed attribute at {other:?}"),
+        };
+        *pos += 1;
+        let inner: Vec<TokenTree> = group.into_iter().collect();
+        let is_serde =
+            matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+        if !is_serde {
+            continue;
+        }
+        let args = match inner.get(1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+            other => panic!("serde stand-in derive: malformed #[serde] attribute at {other:?}"),
+        };
+        let args: Vec<TokenTree> = args.into_iter().collect();
+        let mut i = 0;
+        while i < args.len() {
+            match &args[i] {
+                TokenTree::Ident(ident) => match ident.to_string().as_str() {
+                    "skip" => skip = true,
+                    "default" => {
+                        // default = "path"
+                        i += 1;
+                        assert!(
+                            matches!(&args[i], TokenTree::Punct(p) if p.as_char() == '='),
+                            "serde stand-in derive: expected `=` after `default`"
+                        );
+                        i += 1;
+                        let lit = args[i].to_string();
+                        default_fn = Some(lit.trim_matches('"').to_string());
+                    }
+                    other => panic!(
+                        "serde stand-in derive: unsupported #[serde({other})] attribute \
+                         (only `skip` and `default = \"path\"` are implemented)"
+                    ),
+                },
+                TokenTree::Punct(p) if p.as_char() == ',' => {}
+                other => panic!("serde stand-in derive: unexpected token {other:?} in #[serde]"),
+            }
+            i += 1;
+        }
+    }
+    (skip, default_fn)
+}
+
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) {
+    let _ = collect_serde_attrs(tokens, pos);
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *pos += 1;
+        if matches!(
+            tokens.get(*pos),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *pos += 1;
+        }
+    }
+}
+
+/// Consume a field's type: everything up to the next top-level comma.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut depth = 0i32;
+    while *pos < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*pos] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(i)) => {
+            *pos += 1;
+            i.to_string()
+        }
+        other => panic!("serde stand-in derive: expected identifier, got {other:?}"),
+    }
+}
+
+fn peek_punct(tokens: &[TokenTree], pos: usize) -> Option<char> {
+    match tokens.get(pos) {
+        Some(TokenTree::Punct(p)) => Some(p.as_char()),
+        _ => None,
+    }
+}

@@ -148,7 +148,11 @@ impl Dataset {
     ///
     /// Panics if `fraction` is not within `[0, 1]`.
     #[must_use]
-    pub fn stratified_split<R: Rng + ?Sized>(&self, fraction: f64, rng: &mut R) -> (Dataset, Dataset) {
+    pub fn stratified_split<R: Rng + ?Sized>(
+        &self,
+        fraction: f64,
+        rng: &mut R,
+    ) -> (Dataset, Dataset) {
         assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
         let mut front = Dataset::new(self.grid);
         let mut back = Dataset::new(self.grid);
@@ -193,8 +197,7 @@ impl Dataset {
     /// Propagates file-creation and serialization errors.
     pub fn save_json<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
         let file = std::fs::File::create(path)?;
-        serde_json::to_writer(std::io::BufWriter::new(file), self)
-            .map_err(std::io::Error::other)
+        serde_json::to_writer(std::io::BufWriter::new(file), self).map_err(std::io::Error::other)
     }
 
     /// Load a dataset written by [`Dataset::save_json`].

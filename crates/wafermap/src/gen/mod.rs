@@ -273,11 +273,7 @@ mod tests {
             let map = generate(DefectClass::Scratch, &cfg, &mut rng);
             let fails = map.fail_count();
             assert!(fails >= 8, "scratch too short: {fails}");
-            assert!(
-                (map.fail_ratio()) < 0.15,
-                "scratch too thick: ratio {}",
-                map.fail_ratio()
-            );
+            assert!((map.fail_ratio()) < 0.15, "scratch too thick: ratio {}", map.fail_ratio());
         }
     }
 

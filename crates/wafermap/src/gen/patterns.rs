@@ -132,9 +132,7 @@ impl PatternParams {
                 sigma: rng.gen_range(0.1..0.22),
                 density: rng.gen_range(0.7..0.95),
             },
-            DefectClass::NearFull => {
-                PatternParams::NearFull { density: rng.gen_range(0.8..0.97) }
-            }
+            DefectClass::NearFull => PatternParams::NearFull { density: rng.gen_range(0.8..0.97) },
             DefectClass::Random => PatternParams::Random { density: rng.gen_range(0.15..0.38) },
             DefectClass::Scratch => PatternParams::Scratch {
                 start: (rng.gen_range(0.0..0.7), rng.gen_range(0.0..2.0 * PI)),

@@ -105,10 +105,7 @@ pub fn salt_and_pepper<R: Rng + ?Sized>(map: &WaferMap, rate: f32, rng: &mut R) 
 /// # Errors
 ///
 /// Returns an error if `image.len()` does not match the reference grid.
-pub fn quantize(
-    image: &[f32],
-    reference: &WaferMap,
-) -> Result<WaferMap, crate::map::ShapeError> {
+pub fn quantize(image: &[f32], reference: &WaferMap) -> Result<WaferMap, crate::map::ShapeError> {
     WaferMap::from_image_masked(image, reference)
 }
 

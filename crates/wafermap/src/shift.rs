@@ -45,11 +45,7 @@ impl ShiftConfig {
     /// mixed-pattern wafers.
     #[must_use]
     pub fn moderate() -> Self {
-        ShiftConfig {
-            pattern_strength: 0.6,
-            background: (0.04, 0.10),
-            mixed_fraction: 0.15,
-        }
+        ShiftConfig { pattern_strength: 0.6, background: (0.04, 0.10), mixed_fraction: 0.15 }
     }
 
     /// A severe shift approximating the WM-811K Train/Test
@@ -57,11 +53,7 @@ impl ShiftConfig {
     /// noise, 35% mixed wafers.
     #[must_use]
     pub fn severe() -> Self {
-        ShiftConfig {
-            pattern_strength: 0.35,
-            background: (0.08, 0.18),
-            mixed_fraction: 0.35,
-        }
+        ShiftConfig { pattern_strength: 0.35, background: (0.08, 0.18), mixed_fraction: 0.35 }
     }
 }
 
@@ -103,7 +95,9 @@ fn random_other_class<R: Rng + ?Sized>(class: DefectClass, rng: &mut R) -> Defec
         let candidate = DefectClass::ALL[rng.gen_range(0..DefectClass::COUNT)];
         // Mixing with None or NearFull produces a wafer identical to a
         // single-pattern one; pick a genuinely different defect.
-        if candidate != class && candidate != DefectClass::None && candidate != DefectClass::NearFull
+        if candidate != class
+            && candidate != DefectClass::None
+            && candidate != DefectClass::NearFull
         {
             return candidate;
         }
@@ -126,8 +120,7 @@ mod tests {
     #[test]
     fn severe_shift_is_noisier_than_nominal() {
         let shifted = shifted_dataset(24, 10, &ShiftConfig::severe(), 12);
-        let (nominal, _) =
-            crate::gen::SyntheticWm811k::new(24).scale(0.002).seed(12).build();
+        let (nominal, _) = crate::gen::SyntheticWm811k::new(24).scale(0.002).seed(12).build();
         // Compare the None class: background noise should clearly rise.
         let mean_ratio = |ds: &Dataset| {
             let nones = ds.of_class(DefectClass::None);

@@ -20,10 +20,8 @@ fn main() {
     // 2. Balance the defect classes with Algorithm 1 (conv
     //    auto-encoder + latent perturbation + rotation + s&p noise).
     println!("\nbalancing with auto-encoder augmentation ...");
-    let augmenter = Augmenter::new(
-        AugmentConfig::new(80).with_channels([8, 8, 8]).with_ae_epochs(6),
-        13,
-    );
+    let augmenter =
+        Augmenter::new(AugmentConfig::new(80).with_channels([8, 8, 8]).with_ae_epochs(6), 13);
     let train = augmenter.balance(&train_raw);
     println!("  after augmentation: {} wafers", train.len());
 

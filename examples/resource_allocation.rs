@@ -37,10 +37,7 @@ fn main() {
     let routed = metrics.total() - metrics.selected_count();
     println!("\nmodel keeps      : {} wafers", metrics.selected_count());
     println!("routed to humans : {routed} wafers (budget {budget})");
-    println!(
-        "accuracy on the wafers the model kept: {:.1}%",
-        metrics.selective_accuracy() * 100.0
-    );
+    println!("accuracy on the wafers the model kept: {:.1}%", metrics.selective_accuracy() * 100.0);
 
     // Which classes end up with the engineers? Mostly the rare/hard
     // ones — exactly the wafers worth an expert's time.

@@ -8,12 +8,8 @@ fn both_classifiers_train_and_beat_chance() {
     let (train, test) = SyntheticWm811k::new(16).scale(0.003).seed(33).build();
 
     // SVM baseline.
-    let svm = SvmBaseline::train(
-        &train,
-        &FeatureConfig::default(),
-        &baseline::SvmParams::default(),
-        1,
-    );
+    let svm =
+        SvmBaseline::train(&train, &FeatureConfig::default(), &baseline::SvmParams::default(), 1);
     let svm_cm = svm.evaluate(&test);
     // Majority class (None) is ~68% of test; chance for a degenerate
     // predictor is that ratio. Both models must clear a lower bar at

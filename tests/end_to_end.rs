@@ -39,8 +39,7 @@ fn full_pipeline_produces_consistent_metrics() {
     assert_eq!(metrics.total() as usize, test.len());
     assert!((0.0..=1.0).contains(&metrics.coverage()));
     assert!((0.0..=1.0).contains(&metrics.selective_accuracy()));
-    let per_class_sum: u64 =
-        (0..9).map(|c| metrics.class_selected(c)).sum();
+    let per_class_sum: u64 = (0..9).map(|c| metrics.class_selected(c)).sum();
     assert_eq!(per_class_sum, metrics.selected_count());
 }
 
