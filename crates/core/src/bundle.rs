@@ -1,0 +1,288 @@
+//! Train-to-serve checkpoint bundles.
+//!
+//! A [`CheckpointBundle`] is the single on-disk artifact connecting
+//! training to serving: it pairs the low-level [`nn::serialize::Checkpoint`]
+//! (parameter state dict + Adam optimizer state) with the model
+//! architecture ([`SelectiveConfig`]) and, when produced mid-training,
+//! a [`TrainProgress`] record that lets [`crate::Trainer::resume`]
+//! continue **bit-identically** to an uninterrupted run.
+//!
+//! # Exact-resume guarantee
+//!
+//! Resuming from a bundle written by [`crate::Trainer::run_to_checkpoint`]
+//! with the same [`TrainConfig`] and dataset reproduces the exact
+//! weights and [`crate::TrainReport`] of a straight run, because the
+//! bundle carries everything the trainer consumes:
+//!
+//! - parameter values, gradients, and per-parameter Adam moments
+//!   (the state dict),
+//! - the Adam step counter `t` driving bias correction, plus the
+//!   optimizer hyper-parameters for validation ([`AdamState`]),
+//! - the training config and the number of completed epochs, from
+//!   which the resume replays the epoch shuffles to fast-forward the
+//!   data-ordering RNG to the same state.
+
+use std::fmt;
+use std::path::Path;
+
+use nn::optim::{AdamState, StateError};
+use nn::serialize::{Checkpoint, RestoreError, StateDict};
+use serde::{Deserialize, Serialize};
+
+use crate::{EpochStats, SelectiveConfig, SelectiveModel, TrainConfig};
+
+/// Current on-disk format version written by [`CheckpointBundle::save`].
+///
+/// Version history:
+/// - **1** — initial format: model architecture + versioned parameter /
+///   optimizer checkpoint + optional training progress.
+pub const BUNDLE_FORMAT_VERSION: u32 = 1;
+
+/// How far a training run had progressed when its bundle was written.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainProgress {
+    /// The configuration the run was started with. A resume must use
+    /// an equal config or the replayed schedule would diverge.
+    pub config: TrainConfig,
+    /// First epoch the resumed run must execute (epochs `0..next_epoch`
+    /// are already folded into the bundled parameters).
+    pub next_epoch: usize,
+    /// Per-epoch statistics of the completed epochs, in order.
+    pub epochs: Vec<EpochStats>,
+}
+
+/// Versioned artifact bundling everything needed to rebuild a
+/// [`SelectiveModel`] — and, when training progress is attached, to
+/// resume training exactly.
+///
+/// See the [module docs](self) for the exact-resume guarantee.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointBundle {
+    format_version: u32,
+    model: SelectiveConfig,
+    checkpoint: Checkpoint,
+    progress: Option<TrainProgress>,
+}
+
+impl CheckpointBundle {
+    /// Snapshot `model` for inference-only use (no optimizer state, no
+    /// training progress) — e.g. a final export for the serving layer.
+    #[must_use]
+    pub fn export(model: &mut SelectiveModel) -> Self {
+        CheckpointBundle {
+            format_version: BUNDLE_FORMAT_VERSION,
+            model: *model.config(),
+            checkpoint: Checkpoint::new(model.state_dict()),
+            progress: None,
+        }
+    }
+
+    /// Snapshot `model` mid-training with its optimizer state and
+    /// progress, so the run can later be resumed exactly.
+    #[must_use]
+    pub fn capture(
+        model: &mut SelectiveModel,
+        optimizer: AdamState,
+        progress: TrainProgress,
+    ) -> Self {
+        CheckpointBundle {
+            format_version: BUNDLE_FORMAT_VERSION,
+            model: *model.config(),
+            checkpoint: Checkpoint::new(model.state_dict()).with_optimizer(optimizer),
+            progress: Some(progress),
+        }
+    }
+
+    /// Format version this bundle was written with.
+    #[must_use]
+    pub fn format_version(&self) -> u32 {
+        self.format_version
+    }
+
+    /// Architecture of the bundled model.
+    #[must_use]
+    pub fn model_config(&self) -> &SelectiveConfig {
+        &self.model
+    }
+
+    /// The low-level parameter/optimizer checkpoint.
+    #[must_use]
+    pub fn checkpoint(&self) -> &Checkpoint {
+        &self.checkpoint
+    }
+
+    /// The bundled parameter snapshot.
+    #[must_use]
+    pub fn params(&self) -> &StateDict {
+        self.checkpoint.params()
+    }
+
+    /// Training progress, if the bundle was captured mid-training.
+    #[must_use]
+    pub fn progress(&self) -> Option<&TrainProgress> {
+        self.progress.as_ref()
+    }
+
+    /// Rebuild the bundled model: construct the architecture from the
+    /// stored config and restore every parameter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BundleError::Restore`] if the state dict does not
+    /// match the stored architecture (a corrupted bundle).
+    pub fn build_model(&self) -> Result<SelectiveModel, BundleError> {
+        let mut model = SelectiveModel::new(&self.model, 0);
+        model.load_state_dict(self.checkpoint.params()).map_err(BundleError::Restore)?;
+        Ok(model)
+    }
+
+    /// Serialize to a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation and serialization errors.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), std::io::Error> {
+        let file = std::fs::File::create(path)?;
+        serde_json::to_writer(std::io::BufWriter::new(file), self).map_err(std::io::Error::other)
+    }
+
+    /// Deserialize from a JSON file written by [`CheckpointBundle::save`],
+    /// rejecting unknown format versions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file/parse errors; an unsupported `format_version` is
+    /// reported as [`std::io::ErrorKind::InvalidData`].
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, std::io::Error> {
+        let file = std::fs::File::open(path)?;
+        let bundle: CheckpointBundle = serde_json::from_reader(std::io::BufReader::new(file))
+            .map_err(std::io::Error::other)?;
+        if bundle.format_version != BUNDLE_FORMAT_VERSION {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "unsupported bundle format version {} (this build reads {})",
+                    bundle.format_version, BUNDLE_FORMAT_VERSION
+                ),
+            ));
+        }
+        Ok(bundle)
+    }
+}
+
+/// Error consuming a [`CheckpointBundle`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BundleError {
+    /// The bundle's state dict does not fit the target architecture.
+    Restore(RestoreError),
+    /// The bundled optimizer hyper-parameters are invalid.
+    Optimizer(StateError),
+    /// The bundle carries no optimizer state (inference-only export),
+    /// so training cannot resume from it.
+    MissingOptimizer,
+    /// The bundle carries no training progress (inference-only export).
+    MissingProgress,
+    /// The resuming trainer's configuration differs from the one the
+    /// bundle was trained with, so the replayed schedule would diverge.
+    ConfigMismatch {
+        /// Config stored in the bundle.
+        bundle: Box<TrainConfig>,
+        /// Config of the resuming trainer.
+        trainer: Box<TrainConfig>,
+    },
+    /// The target model's architecture differs from the bundled one.
+    ModelMismatch {
+        /// Architecture stored in the bundle.
+        bundle: Box<SelectiveConfig>,
+        /// Architecture of the target model.
+        model: Box<SelectiveConfig>,
+    },
+}
+
+impl fmt::Display for BundleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BundleError::Restore(e) => write!(f, "bundle does not fit model: {e}"),
+            BundleError::Optimizer(e) => write!(f, "invalid bundled optimizer state: {e}"),
+            BundleError::MissingOptimizer => {
+                write!(f, "bundle has no optimizer state; cannot resume training")
+            }
+            BundleError::MissingProgress => {
+                write!(f, "bundle has no training progress; cannot resume training")
+            }
+            BundleError::ConfigMismatch { bundle, trainer } => {
+                write!(f, "training config mismatch: bundle {bundle:?} vs trainer {trainer:?}")
+            }
+            BundleError::ModelMismatch { bundle, model } => {
+                write!(f, "model architecture mismatch: bundle {bundle:?} vs model {model:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BundleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BundleError::Restore(e) => Some(e),
+            BundleError::Optimizer(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_model(seed: u64) -> SelectiveModel {
+        let config = SelectiveConfig::for_grid(16).with_conv_channels([4, 4, 4]).with_fc(16);
+        SelectiveModel::new(&config, seed)
+    }
+
+    #[test]
+    fn export_roundtrips_model_parameters() {
+        let mut model = tiny_model(11);
+        let bundle = CheckpointBundle::export(&mut model);
+        assert_eq!(bundle.format_version(), BUNDLE_FORMAT_VERSION);
+        assert!(bundle.progress().is_none());
+        assert!(bundle.checkpoint().optimizer().is_none());
+        let mut rebuilt = bundle.build_model().expect("architecture matches");
+        assert_eq!(rebuilt.state_dict(), model.state_dict());
+    }
+
+    #[test]
+    fn file_roundtrip_is_exact() {
+        let mut model = tiny_model(12);
+        let bundle = CheckpointBundle::export(&mut model);
+        let dir = std::env::temp_dir().join("core_bundle_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("bundle.json");
+        bundle.save(&path).expect("save");
+        let loaded = CheckpointBundle::load(&path).expect("load");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(loaded, bundle);
+    }
+
+    #[test]
+    fn load_rejects_future_format_version() {
+        let mut model = tiny_model(13);
+        let mut bundle = CheckpointBundle::export(&mut model);
+        bundle.format_version = BUNDLE_FORMAT_VERSION + 7;
+        let dir = std::env::temp_dir().join("core_bundle_version_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("future.json");
+        bundle.save(&path).expect("save");
+        let err = CheckpointBundle::load(&path).expect_err("future version must be rejected");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn build_model_rejects_corrupted_architecture() {
+        let mut model = tiny_model(14);
+        let mut bundle = CheckpointBundle::export(&mut model);
+        // Claim a wider FC layer than the captured parameters have.
+        bundle.model.fc = 32;
+        assert!(matches!(bundle.build_model(), Err(BundleError::Restore(_))));
+    }
+}

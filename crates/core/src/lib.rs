@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bundle;
 mod config;
 mod loss;
 mod model;
@@ -50,6 +51,7 @@ mod trainer;
 pub mod monitor;
 pub mod sweep;
 
+pub use bundle::{BundleError, CheckpointBundle, TrainProgress, BUNDLE_FORMAT_VERSION};
 pub use config::SelectiveConfig;
 pub use loss::{SelectiveLoss, SelectiveLossValue};
 pub use model::SelectiveModel;

@@ -195,6 +195,72 @@ impl SelectiveModel {
             .collect()
     }
 
+    /// Inference-only batch classification — the serving path.
+    ///
+    /// Bit-identical to [`SelectiveModel::predict`] but runs through
+    /// `&self` on the no-grad [`Layer::infer`] path: no activation
+    /// caches are written and samples are processed **sample-major**
+    /// (each wafer flows through the whole network before the next
+    /// starts), which keeps per-sample working sets cache-resident and
+    /// fans the batch across the worker pool with results independent
+    /// of the pool size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape does not match the configuration.
+    #[must_use]
+    pub fn infer_predict(&self, images: &Tensor, threshold: f32) -> Vec<SelectivePrediction> {
+        let shape = images.shape();
+        assert_eq!(
+            shape,
+            &[shape[0], 1, self.config.grid, self.config.grid],
+            "expected [N, 1, {g}, {g}] input",
+            g = self.config.grid
+        );
+        let n = shape[0];
+        let pixels = self.config.grid * self.config.grid;
+        let data = images.data();
+        nn::pool::parallel_map(n, |i| {
+            let sample = Tensor::from_vec(
+                data[i * pixels..(i + 1) * pixels].to_vec(),
+                &[1, 1, self.config.grid, self.config.grid],
+            );
+            let features = self.trunk.infer(&sample);
+            let logits = self.head_f.infer(&features);
+            let score = self.head_g.infer(&features).data()[0];
+            let probs = nn::loss::softmax(&logits);
+            let row = probs.data();
+            SelectivePrediction {
+                label: nn::loss::argmax(row),
+                confidence: row.iter().fold(0.0f32, |m, &v| m.max(v)),
+                selection_score: score,
+                selected: score >= threshold,
+            }
+        })
+    }
+
+    /// Selection scores `g(x)` for every sample of a dataset via the
+    /// inference-only path (bit-identical to
+    /// [`SelectiveModel::selection_scores`]); used by the serving
+    /// engine to calibrate τ without mutable access to the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset grid does not match the model's.
+    #[must_use]
+    pub fn infer_selection_scores(&self, dataset: &Dataset) -> Vec<f32> {
+        assert_eq!(dataset.grid(), self.config.grid, "dataset grid mismatch");
+        let samples = dataset.samples();
+        nn::pool::parallel_map(samples.len(), |i| {
+            let image = Tensor::from_vec(
+                samples[i].map.to_image(),
+                &[1, 1, self.config.grid, self.config.grid],
+            );
+            let features = self.trunk.infer(&image);
+            self.head_g.infer(&features).data()[0]
+        })
+    }
+
     /// Evaluate on a labeled dataset, producing selective metrics
     /// (coverage, selective accuracy, per-class coverage — the
     /// quantities of Table II).
@@ -306,6 +372,25 @@ mod tests {
 
     fn tiny_config() -> SelectiveConfig {
         SelectiveConfig::for_grid(16).with_conv_channels([4, 4, 4]).with_fc(16)
+    }
+
+    #[test]
+    fn infer_predict_matches_training_predict_bitwise() {
+        let mut model = SelectiveModel::new(&tiny_config(), 5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let images = Tensor::randn(&[7, 1, 16, 16], 1.0, &mut rng);
+        let trained = model.predict(&images, 0.5);
+        let served = model.infer_predict(&images, 0.5);
+        assert_eq!(trained.len(), served.len());
+        for (i, (a, b)) in trained.iter().zip(&served).enumerate() {
+            assert_eq!(a.label, b.label, "label diverged at sample {i}");
+            assert_eq!(a.confidence, b.confidence, "confidence diverged at sample {i}");
+            assert_eq!(
+                a.selection_score, b.selection_score,
+                "selection score diverged at sample {i}"
+            );
+            assert_eq!(a.selected, b.selected, "selection diverged at sample {i}");
+        }
     }
 
     #[test]

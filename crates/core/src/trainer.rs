@@ -6,6 +6,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+use crate::bundle::{BundleError, CheckpointBundle, TrainProgress};
 use crate::{SelectiveLoss, SelectiveModel};
 use wafermap::Dataset;
 
@@ -120,22 +121,142 @@ impl Trainer {
     /// Panics if the dataset is empty or its grid does not match the
     /// model's configuration.
     pub fn run(&self, model: &mut SelectiveModel, dataset: &Dataset) -> TrainReport {
+        self.check_inputs(model, dataset);
+        let mut adam = Adam::new(self.config.learning_rate);
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut order: Vec<usize> = (0..dataset.len()).collect();
+        let epochs =
+            self.epoch_span(model, dataset, &mut adam, &mut rng, &mut order, 0, self.config.epochs);
+        TrainReport { epochs }
+    }
+
+    /// Train epochs `0..stop_epoch`, then snapshot the model, optimizer
+    /// and progress into a [`CheckpointBundle`] from which
+    /// [`Trainer::resume`] continues bit-identically to an
+    /// uninterrupted [`Trainer::run`].
+    ///
+    /// Returns the partial report alongside the bundle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`Trainer::run`], or if
+    /// `stop_epoch` exceeds the configured epoch count.
+    pub fn run_to_checkpoint(
+        &self,
+        model: &mut SelectiveModel,
+        dataset: &Dataset,
+        stop_epoch: usize,
+    ) -> (TrainReport, CheckpointBundle) {
+        assert!(stop_epoch <= self.config.epochs, "stop_epoch exceeds configured epochs");
+        self.check_inputs(model, dataset);
+        let mut adam = Adam::new(self.config.learning_rate);
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut order: Vec<usize> = (0..dataset.len()).collect();
+        let epochs =
+            self.epoch_span(model, dataset, &mut adam, &mut rng, &mut order, 0, stop_epoch);
+        let progress =
+            TrainProgress { config: self.config, next_epoch: stop_epoch, epochs: epochs.clone() };
+        let bundle = CheckpointBundle::capture(model, adam.state(), progress);
+        (TrainReport { epochs }, bundle)
+    }
+
+    /// Resume training from a bundle written by
+    /// [`Trainer::run_to_checkpoint`], continuing through the remaining
+    /// epochs. With the same dataset and an equal [`TrainConfig`], the
+    /// final weights and the returned [`TrainReport`] are
+    /// **bit-identical** to an uninterrupted [`Trainer::run`]: the
+    /// bundle restores every parameter (values, gradients, Adam
+    /// moments), the Adam step counter, and the resume replays the
+    /// completed epochs' shuffles to fast-forward the data-ordering
+    /// RNG.
+    ///
+    /// `model` may be freshly constructed; its parameters are
+    /// overwritten from the bundle.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BundleError`] when the bundle lacks optimizer state
+    /// or progress (inference-only export), was trained under a
+    /// different config, targets a different architecture, or is
+    /// internally corrupted.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same dataset conditions as [`Trainer::run`].
+    pub fn resume(
+        &self,
+        model: &mut SelectiveModel,
+        dataset: &Dataset,
+        bundle: &CheckpointBundle,
+    ) -> Result<TrainReport, BundleError> {
+        self.check_inputs(model, dataset);
+        let progress = bundle.progress().ok_or(BundleError::MissingProgress)?.clone();
+        if progress.config != self.config {
+            return Err(BundleError::ConfigMismatch {
+                bundle: Box::new(progress.config),
+                trainer: Box::new(self.config),
+            });
+        }
+        if bundle.model_config() != model.config() {
+            return Err(BundleError::ModelMismatch {
+                bundle: Box::new(*bundle.model_config()),
+                model: Box::new(*model.config()),
+            });
+        }
+        let state = bundle.checkpoint().optimizer().ok_or(BundleError::MissingOptimizer)?;
+        let mut adam = Adam::from_state(state).map_err(BundleError::Optimizer)?;
+        model.load_state_dict(bundle.params()).map_err(BundleError::Restore)?;
+        // Fast-forward the data-ordering RNG: replay the shuffles of
+        // the completed epochs on the evolving order vector, exactly as
+        // the straight run consumed them.
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut order: Vec<usize> = (0..dataset.len()).collect();
+        for _ in 0..progress.next_epoch {
+            order.shuffle(&mut rng);
+        }
+        let mut epochs = progress.epochs;
+        epochs.extend(self.epoch_span(
+            model,
+            dataset,
+            &mut adam,
+            &mut rng,
+            &mut order,
+            progress.next_epoch,
+            self.config.epochs,
+        ));
+        Ok(TrainReport { epochs })
+    }
+
+    fn check_inputs(&self, model: &mut SelectiveModel, dataset: &Dataset) {
         assert!(!dataset.is_empty(), "cannot train on an empty dataset");
         assert_eq!(dataset.grid(), model.config().grid, "dataset grid mismatch");
+    }
+
+    /// Train epochs `start..end`, shuffling `order` in place with `rng`
+    /// at the top of each epoch. All cross-epoch state lives in the
+    /// caller so checkpoint/resume can interleave with spans.
+    #[allow(clippy::too_many_arguments)]
+    fn epoch_span(
+        &self,
+        model: &mut SelectiveModel,
+        dataset: &Dataset,
+        adam: &mut Adam,
+        rng: &mut StdRng,
+        order: &mut [usize],
+        start: usize,
+        end: usize,
+    ) -> Vec<EpochStats> {
         let grid = dataset.grid();
         let pixels = grid * grid;
         let plain = self.config.target_coverage >= 1.0;
         let selective = SelectiveLoss::new(self.config.target_coverage)
             .with_lambda(self.config.lambda)
             .with_alpha(self.config.alpha);
-        let mut adam = Adam::new(self.config.learning_rate);
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut order: Vec<usize> = (0..dataset.len()).collect();
         let samples = dataset.samples();
-        let mut epochs = Vec::with_capacity(self.config.epochs);
+        let mut epochs = Vec::with_capacity(end.saturating_sub(start));
 
-        for epoch in 0..self.config.epochs {
-            order.shuffle(&mut rng);
+        for epoch in start..end {
+            order.shuffle(rng);
             let mut loss_sum = 0.0f64;
             let mut cov_sum = 0.0f64;
             let mut acc_sum = 0.0f64;
@@ -181,7 +302,7 @@ impl Trainer {
                     model.backward(&grad_logits, &grad_g);
                     (value.total, value.coverage)
                 };
-                model.step(&mut adam);
+                model.step(adam);
 
                 let b = batch.len() as f64;
                 loss_sum += f64::from(loss) * b;
@@ -197,7 +318,7 @@ impl Trainer {
                 accuracy: (acc_sum / n) as f32,
             });
         }
-        TrainReport { epochs }
+        epochs
     }
 }
 

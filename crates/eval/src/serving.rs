@@ -1,0 +1,240 @@
+//! Streaming metrics for a running selective-inference service:
+//! throughput, per-batch latency percentiles, rolling decision
+//! counts, and per-class predicted / abstained tallies.
+//!
+//! [`ServingStats`] is deliberately decoupled from any model type: the
+//! serving layer records `(class, selected)` decision pairs plus
+//! per-batch wall-clock latencies, and reads back a serializable
+//! [`ServingSnapshot`] suitable for a JSON status endpoint.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulator for serving-time metrics.
+///
+/// # Example
+///
+/// ```
+/// use eval::ServingStats;
+///
+/// let mut stats = ServingStats::new(3);
+/// // One micro-batch of 2 wafers took 4 ms: class 1 predicted,
+/// // class 2 abstained.
+/// stats.record_batch(0.004, &[(1, true), (2, false)]);
+/// let snap = stats.snapshot();
+/// assert_eq!(snap.wafers, 2);
+/// assert_eq!(snap.predicted, 1);
+/// assert_eq!(snap.abstained, 1);
+/// assert!((snap.coverage - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ServingStats {
+    n_classes: usize,
+    batch_latencies: Vec<f64>,
+    batch_sizes: Vec<usize>,
+    predicted_per_class: Vec<u64>,
+    abstained_per_class: Vec<u64>,
+}
+
+impl ServingStats {
+    /// Fresh accumulator for a model with `n_classes` classes.
+    #[must_use]
+    pub fn new(n_classes: usize) -> Self {
+        ServingStats {
+            n_classes,
+            batch_latencies: Vec::new(),
+            batch_sizes: Vec::new(),
+            predicted_per_class: vec![0; n_classes],
+            abstained_per_class: vec![0; n_classes],
+        }
+    }
+
+    /// Record one completed micro-batch: its wall-clock latency in
+    /// seconds and the `(class_index, selected)` decision for each
+    /// wafer. For abstained wafers the class index is the model's
+    /// would-be prediction (what it would have said had it committed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any class index is out of range or the latency is
+    /// negative / non-finite.
+    pub fn record_batch(&mut self, latency_secs: f64, decisions: &[(usize, bool)]) {
+        assert!(
+            latency_secs.is_finite() && latency_secs >= 0.0,
+            "latency must be finite and non-negative"
+        );
+        self.batch_latencies.push(latency_secs);
+        self.batch_sizes.push(decisions.len());
+        for &(class, selected) in decisions {
+            assert!(class < self.n_classes, "class index {class} out of range");
+            if selected {
+                self.predicted_per_class[class] += 1;
+            } else {
+                self.abstained_per_class[class] += 1;
+            }
+        }
+    }
+
+    /// Number of micro-batches recorded so far.
+    #[must_use]
+    pub fn batches(&self) -> usize {
+        self.batch_latencies.len()
+    }
+
+    /// Total wafers across all recorded batches.
+    #[must_use]
+    pub fn wafers(&self) -> u64 {
+        self.batch_sizes.iter().map(|&b| b as u64).sum()
+    }
+
+    /// Point-in-time snapshot of every derived metric.
+    #[must_use]
+    pub fn snapshot(&self) -> ServingSnapshot {
+        let wafers = self.wafers();
+        let predicted: u64 = self.predicted_per_class.iter().sum();
+        let abstained: u64 = self.abstained_per_class.iter().sum();
+        let busy: f64 = self.batch_latencies.iter().sum();
+        ServingSnapshot {
+            batches: self.batches() as u64,
+            wafers,
+            predicted,
+            abstained,
+            coverage: if wafers == 0 { 0.0 } else { predicted as f64 / wafers as f64 },
+            throughput_wafers_per_sec: if busy > 0.0 { wafers as f64 / busy } else { 0.0 },
+            latency: LatencySummary::from_samples(&self.batch_latencies),
+            predicted_per_class: self.predicted_per_class.clone(),
+            abstained_per_class: self.abstained_per_class.clone(),
+        }
+    }
+}
+
+/// Distribution summary of per-batch latencies, in seconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Mean batch latency.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Worst observed batch.
+    pub max: f64,
+}
+
+impl LatencySummary {
+    /// Summarize a set of latency samples; all-zero when empty.
+    ///
+    /// Percentiles use the nearest-rank method: the `p`-th percentile
+    /// is the smallest sample with at least `p`% of the data at or
+    /// below it.
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return LatencySummary { mean: 0.0, p50: 0.0, p90: 0.0, p99: 0.0, max: 0.0 };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = sorted.len();
+        let rank = |p: f64| -> f64 {
+            let idx = ((p / 100.0) * n as f64).ceil() as usize;
+            sorted[idx.clamp(1, n) - 1]
+        };
+        LatencySummary {
+            mean: sorted.iter().sum::<f64>() / n as f64,
+            p50: rank(50.0),
+            p90: rank(90.0),
+            p99: rank(99.0),
+            max: sorted[n - 1],
+        }
+    }
+}
+
+/// Serializable point-in-time view of a [`ServingStats`] accumulator —
+/// the payload of the serving layer's JSON status report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingSnapshot {
+    /// Micro-batches processed.
+    pub batches: u64,
+    /// Wafers processed.
+    pub wafers: u64,
+    /// Wafers the model committed a label to.
+    pub predicted: u64,
+    /// Wafers routed to the reject option.
+    pub abstained: u64,
+    /// Empirical coverage so far (`predicted / wafers`).
+    pub coverage: f64,
+    /// Wafers per second of model compute time (sum of batch
+    /// latencies, excluding idle gaps between batches).
+    pub throughput_wafers_per_sec: f64,
+    /// Per-batch latency distribution.
+    pub latency: LatencySummary,
+    /// Committed predictions per class index.
+    pub predicted_per_class: Vec<u64>,
+    /// Abstentions per (would-be) class index.
+    pub abstained_per_class: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_snapshot_is_all_zero() {
+        let snap = ServingStats::new(4).snapshot();
+        assert_eq!(snap.batches, 0);
+        assert_eq!(snap.wafers, 0);
+        assert_eq!(snap.coverage, 0.0);
+        assert_eq!(snap.throughput_wafers_per_sec, 0.0);
+        assert_eq!(snap.latency.max, 0.0);
+    }
+
+    #[test]
+    fn counts_and_coverage_accumulate() {
+        let mut stats = ServingStats::new(3);
+        stats.record_batch(0.010, &[(0, true), (1, true), (2, false)]);
+        stats.record_batch(0.030, &[(1, false)]);
+        let snap = stats.snapshot();
+        assert_eq!(snap.batches, 2);
+        assert_eq!(snap.wafers, 4);
+        assert_eq!(snap.predicted, 2);
+        assert_eq!(snap.abstained, 2);
+        assert!((snap.coverage - 0.5).abs() < 1e-12);
+        assert_eq!(snap.predicted_per_class, vec![1, 1, 0]);
+        assert_eq!(snap.abstained_per_class, vec![0, 1, 1]);
+        // 4 wafers over 40 ms of compute.
+        assert!((snap.throughput_wafers_per_sec - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_percentiles_use_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64 / 1000.0).collect();
+        let s = LatencySummary::from_samples(&samples);
+        assert!((s.p50 - 0.050).abs() < 1e-12);
+        assert!((s.p90 - 0.090).abs() < 1e-12);
+        assert!((s.p99 - 0.099).abs() < 1e-12);
+        assert!((s.max - 0.100).abs() < 1e-12);
+        assert!((s.mean - 0.0505).abs() < 1e-12);
+        // Single sample: every percentile is that sample.
+        let one = LatencySummary::from_samples(&[0.25]);
+        assert_eq!(one.p50, 0.25);
+        assert_eq!(one.p99, 0.25);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let mut stats = ServingStats::new(2);
+        stats.record_batch(0.002, &[(0, true), (1, false)]);
+        let snap = stats.snapshot();
+        let json = serde_json::to_string(&snap).expect("serialize");
+        let back: ServingSnapshot = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_class_rejected() {
+        let mut stats = ServingStats::new(2);
+        stats.record_batch(0.001, &[(2, true)]);
+    }
+}

@@ -28,7 +28,23 @@
 //! [`legacy`] and selected by [`crate::pool::ComputeMode::Legacy`] so
 //! the `perf_report` benchmark can measure before/after in one process.
 
+use std::cell::RefCell;
+
 use crate::pool::{self, ComputeMode, Shards};
+
+thread_local! {
+    /// Reusable `B`-panel packing buffer. A fresh `Vec` per call would
+    /// cross the allocator's mmap threshold for the larger layer
+    /// shapes, paying map/unmap and page-fault costs on every GEMM;
+    /// pool workers are persistent, so one warm buffer per thread
+    /// amortizes that away. [`pack_b`] writes every slot it hands to
+    /// the microkernel (pad lanes included), so reuse needs no
+    /// re-zeroing.
+    static B_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    /// Reusable `A`-panel packing buffer ([`pack_a`] also writes every
+    /// slot it exposes, including zero-filled edge rows).
+    static A_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Microkernel tile height (rows of `C` kept in registers).
 const MR: usize = 4;
@@ -104,7 +120,51 @@ pub fn sgemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32
         ComputeMode::Pooled if m * k * n < SMALL_THRESHOLD => {
             reference::sgemm_nt(m, k, n, a, b, c);
         }
+        ComputeMode::Pooled if m <= 2 => nt_narrow(m, k, n, a, b, c),
         ComputeMode::Pooled => blocked(m, k, n, a, b, c, ALayout::RowMajor, BLayout::Transposed),
+    }
+}
+
+/// Columns of `C` computed together per [`nt_narrow`] strip (that many
+/// independent accumulation chains hide the `mul_add` latency).
+const NTW: usize = 8;
+
+/// Narrow-batch kernel for the `A[m,k] · B[n,k]ᵀ` form with `m <= 2`:
+/// inference-sized matrix-vector products where packing `B` (the
+/// weight matrix, re-read every call) would dominate the work. Rows of
+/// `B` are already contiguous along the contraction axis, so each
+/// output is a plain dot product; `NTW` outputs run as parallel
+/// accumulation chains. Per element the contraction still runs in
+/// strictly increasing `p` order with `mul_add` onto the resident `C`
+/// value — bit-identical to the reference kernel.
+fn nt_narrow(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..m {
+        let x = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        let mut j0 = 0;
+        while j0 < n {
+            let jw = NTW.min(n - j0);
+            let mut acc = [0.0f32; NTW];
+            acc[..jw].copy_from_slice(&c_row[j0..j0 + jw]);
+            if jw == NTW {
+                let rows: [&[f32]; NTW] =
+                    std::array::from_fn(|jj| &b[(j0 + jj) * k..(j0 + jj + 1) * k]);
+                for (p, &xv) in x.iter().enumerate() {
+                    for (jj, row) in rows.iter().enumerate() {
+                        acc[jj] = xv.mul_add(row[p], acc[jj]);
+                    }
+                }
+            } else {
+                for (jj, slot) in acc.iter_mut().enumerate().take(jw) {
+                    let row = &b[(j0 + jj) * k..(j0 + jj + 1) * k];
+                    for (p, &xv) in x.iter().enumerate() {
+                        *slot = xv.mul_add(row[p], *slot);
+                    }
+                }
+            }
+            c_row[j0..j0 + jw].copy_from_slice(&acc[..jw]);
+            j0 += jw;
+        }
     }
 }
 
@@ -150,44 +210,66 @@ fn blocked(
     let n_panels = n.div_ceil(NR);
     // Pack all of B once, shared read-only by every row block:
     // b_packed[(panel * k + p) * NR + jr] = B[p, panel*NR + jr], with
-    // out-of-range columns zero-filled.
-    let mut b_packed = vec![0.0f32; n_panels * k * NR];
-    pack_b(&mut b_packed, b, b_layout, k, n);
+    // out-of-range columns zero-filled by `pack_b` itself.
+    B_SCRATCH.with(|cell| {
+        let mut b_buf = cell.borrow_mut();
+        let b_need = n_panels * k * NR;
+        if b_buf.len() < b_need {
+            b_buf.resize(b_need, 0.0);
+        }
+        let b_packed = &mut b_buf[..b_need];
+        pack_b(b_packed, b, b_layout, k, n);
 
-    let row_blocks = m.div_ceil(MC);
-    let c = &mut c[..m * n];
-    let shards = Shards::new(c, MC * n);
-    let b_packed = &b_packed;
-    let work = |blk: usize| {
-        let c_block = shards.claim(blk);
-        let i0 = blk * MC;
-        let mb = (m - i0).min(MC);
-        let groups = mb.div_ceil(MR);
-        let mut a_packed = vec![0.0f32; groups * KC.min(k) * MR];
-        for p0 in (0..k).step_by(KC) {
-            let kc = KC.min(k - p0);
-            pack_a(&mut a_packed, a, a_layout, m, k, i0, mb, p0, kc);
-            for jp in 0..n_panels {
-                let j0 = jp * NR;
-                let nr = NR.min(n - j0);
-                let b_panel = &b_packed[(jp * k + p0) * NR..(jp * k + p0 + kc) * NR];
-                for g in 0..groups {
-                    let r0 = g * MR;
-                    let mr = MR.min(mb - r0);
-                    let a_panel = &a_packed[g * kc * MR..(g + 1) * kc * MR];
-                    microkernel(kc, a_panel, b_panel, &mut c_block[r0 * n + j0..], n, mr, nr);
+        let row_blocks = m.div_ceil(MC);
+        let c = &mut c[..m * n];
+        let shards = Shards::new(c, MC * n);
+        let b_packed = &*b_packed;
+        let work = |blk: usize| {
+            let c_block = shards.claim(blk);
+            let i0 = blk * MC;
+            let mb = (m - i0).min(MC);
+            let groups = mb.div_ceil(MR);
+            let a_need = groups * KC.min(k) * MR;
+            A_SCRATCH.with(|a_cell| {
+                let mut a_buf = a_cell.borrow_mut();
+                if a_buf.len() < a_need {
+                    a_buf.resize(a_need, 0.0);
                 }
+                let a_packed = &mut a_buf[..a_need];
+                for p0 in (0..k).step_by(KC) {
+                    let kc = KC.min(k - p0);
+                    pack_a(a_packed, a, a_layout, m, k, i0, mb, p0, kc);
+                    for jp in 0..n_panels {
+                        let j0 = jp * NR;
+                        let nr = NR.min(n - j0);
+                        let b_panel = &b_packed[(jp * k + p0) * NR..(jp * k + p0 + kc) * NR];
+                        for g in 0..groups {
+                            let r0 = g * MR;
+                            let mr = MR.min(mb - r0);
+                            let a_panel = &a_packed[g * kc * MR..(g + 1) * kc * MR];
+                            microkernel(
+                                kc,
+                                a_panel,
+                                b_panel,
+                                &mut c_block[r0 * n + j0..],
+                                n,
+                                mr,
+                                nr,
+                            );
+                        }
+                    }
+                }
+            });
+        };
+        if m * k * n < PARALLEL_THRESHOLD {
+            // Not worth a pool dispatch; same chunk grid, same results.
+            for blk in 0..row_blocks {
+                work(blk);
             }
+        } else {
+            pool::parallel_for(row_blocks, work);
         }
-    };
-    if m * k * n < PARALLEL_THRESHOLD {
-        // Not worth a pool dispatch; same chunk grid, same results.
-        for blk in 0..row_blocks {
-            work(blk);
-        }
-    } else {
-        pool::parallel_for(row_blocks, work);
-    }
+    });
 }
 
 /// Row-sweep kernel for thin contractions (`k <= THIN_K`, row-major
@@ -347,6 +429,7 @@ fn pack_b(bp: &mut [f32], b: &[f32], layout: BLayout, k: usize, n: usize) {
                 for p in 0..k {
                     let dst = (jp * k + p) * NR;
                     bp[dst..dst + w].copy_from_slice(&b[p * n + j0..p * n + j0 + w]);
+                    bp[dst + w..dst + NR].fill(0.0);
                 }
             }
         }
@@ -354,6 +437,10 @@ fn pack_b(bp: &mut [f32], b: &[f32], layout: BLayout, k: usize, n: usize) {
             for jp in 0..n_panels {
                 let j0 = jp * NR;
                 let w = NR.min(n - j0);
+                for p in 0..k {
+                    let dst = (jp * k + p) * NR;
+                    bp[dst + w..dst + NR].fill(0.0);
+                }
                 for jr in 0..w {
                     let col = &b[(j0 + jr) * k..(j0 + jr + 1) * k];
                     for (p, &v) in col.iter().enumerate() {

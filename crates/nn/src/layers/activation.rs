@@ -35,6 +35,10 @@ impl Layer for Relu {
         out
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        input.map(|v| v.max(0.0))
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let mask = self.mask.as_ref().expect("backward before forward");
         assert_eq!(grad_output.numel(), mask.len(), "bad grad shape for Relu");
@@ -79,6 +83,10 @@ impl Layer for Sigmoid {
         out
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        input.map(stable_sigmoid)
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let out = self.output.as_ref().expect("backward before forward");
         assert_eq!(grad_output.numel(), out.numel(), "bad grad shape for Sigmoid");
@@ -118,6 +126,10 @@ impl Layer for Tanh {
         let out = input.map(f32::tanh);
         self.output = Some(out.clone());
         out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        input.map(f32::tanh)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {

@@ -1,3 +1,5 @@
+use std::cell::RefCell;
+
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -34,6 +36,14 @@ pub struct Conv2d {
     bias: Param,
     #[serde(skip)]
     cache: Option<ConvCache>,
+}
+
+thread_local! {
+    /// Reusable im2col buffer for [`Conv2d::infer`]. One per thread:
+    /// pool workers are persistent, so after warm-up the serving path
+    /// performs no per-call allocation. `im2col` overwrites every
+    /// element (padding included), so the buffer never needs zeroing.
+    static COL_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
 }
 
 #[derive(Debug)]
@@ -199,6 +209,46 @@ impl Layer for Conv2d {
             });
         }
         self.cache = Some(ConvCache { input_shape: [n, c, h, w], out_hw: (oh, ow), cols });
+        out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 4, "Conv2d expects [N, C, H, W]");
+        let [n, c, h, w] = [shape[0], shape[1], shape[2], shape[3]];
+        assert_eq!(c, self.in_channels, "Conv2d expects {} input channels", self.in_channels);
+        let (oh, ow) = self.output_hw(h, w);
+        let col_rows = self.col_rows();
+        let col_size = col_rows * oh * ow;
+        let mut out = Tensor::zeros(&[n, self.out_channels, oh, ow]);
+        if oh * ow > 0 {
+            let input_data = input.data();
+            let out_data = out.data_mut();
+            let out_plane = self.out_channels * oh * ow;
+            COL_SCRATCH.with(|cell| {
+                let mut col = cell.borrow_mut();
+                if col.len() < col_size {
+                    col.resize(col_size, 0.0);
+                }
+                for i in 0..n {
+                    let sample = &input_data[i * c * h * w..(i + 1) * c * h * w];
+                    self.im2col(sample, h, w, &mut col[..col_size]);
+                    let out_n = &mut out_data[i * out_plane..(i + 1) * out_plane];
+                    sgemm(
+                        self.out_channels,
+                        col_rows,
+                        oh * ow,
+                        self.weight.value.data(),
+                        &col[..col_size],
+                        out_n,
+                    );
+                    for (co, chunk) in out_n.chunks_exact_mut(oh * ow).enumerate() {
+                        let b = self.bias.value.data()[co];
+                        chunk.iter_mut().for_each(|v| *v += b);
+                    }
+                }
+            });
+        }
         out
     }
 

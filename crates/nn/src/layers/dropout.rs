@@ -77,6 +77,12 @@ impl Layer for Dropout {
         Tensor::from_vec(data, input.shape())
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        // Inverted dropout is the identity at inference time
+        // regardless of the training flag.
+        input.clone()
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         match &self.mask {
             None => grad_output.clone(),

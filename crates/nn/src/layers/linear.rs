@@ -83,6 +83,32 @@ impl Layer for Linear {
         out
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        assert_eq!(input.shape().len(), 2, "Linear expects [batch, features]");
+        let batch = input.shape()[0];
+        assert_eq!(
+            input.shape()[1],
+            self.in_features,
+            "Linear expects {} input features",
+            self.in_features
+        );
+        let mut out = Tensor::zeros(&[batch, self.out_features]);
+        sgemm_nt(
+            batch,
+            self.in_features,
+            self.out_features,
+            input.data(),
+            self.weight.value.data(),
+            out.data_mut(),
+        );
+        for row in out.data_mut().chunks_exact_mut(self.out_features) {
+            for (o, b) in row.iter_mut().zip(self.bias.value.data()) {
+                *o += b;
+            }
+        }
+        out
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let input = self.cached_input.as_ref().expect("backward before forward");
         let batch = input.shape()[0];

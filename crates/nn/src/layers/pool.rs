@@ -90,6 +90,57 @@ impl Layer for MaxPool2d {
         out
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 4, "MaxPool2d expects [N, C, H, W]");
+        let [n, c, h, w] = [shape[0], shape[1], shape[2], shape[3]];
+        let (oh, ow) = self.output_hw(h, w);
+        assert!(oh > 0 && ow > 0, "input {h}x{w} smaller than pooling window");
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let data = input.data();
+        let out_data = out.data_mut();
+        if self.window == 2 {
+            // The paper's only pooling shape: branch-free max-of-four
+            // over adjacent row pairs (same value as the scan below —
+            // the inputs are finite, so max order does not matter).
+            for nc in 0..n * c {
+                let plane_base = nc * h * w;
+                let out_base = nc * oh * ow;
+                for oy in 0..oh {
+                    let top = &data[plane_base + 2 * oy * w..][..w];
+                    let bot = &data[plane_base + (2 * oy + 1) * w..][..w];
+                    let out_row = &mut out_data[out_base + oy * ow..][..ow];
+                    for (ox, o) in out_row.iter_mut().enumerate() {
+                        let x = 2 * ox;
+                        *o = top[x].max(top[x + 1]).max(bot[x]).max(bot[x + 1]);
+                    }
+                }
+            }
+            return out;
+        }
+        for nc in 0..n * c {
+            let plane_base = nc * h * w;
+            let out_base = nc * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    for dy in 0..self.window {
+                        let y = oy * self.window + dy;
+                        let row = &data[plane_base + y * w..plane_base + (y + 1) * w];
+                        for dx in 0..self.window {
+                            let v = row[ox * self.window + dx];
+                            if v > best {
+                                best = v;
+                            }
+                        }
+                    }
+                    out_data[out_base + oy * ow + ox] = best;
+                }
+            }
+        }
+        out
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let cache = self.cache.as_ref().expect("backward before forward");
         let [n, c, h, w] = cache.input_shape;

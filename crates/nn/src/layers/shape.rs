@@ -38,6 +38,12 @@ impl Layer for Flatten {
         input.reshaped(&[n, rest])
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let shape = input.shape();
+        assert!(shape.len() >= 2, "Flatten expects at least [N, ...]");
+        input.reshaped(&[shape[0], shape[1..].iter().product()])
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let shape = self.input_shape.as_ref().expect("backward before forward");
         grad_output.reshaped(shape)

@@ -68,10 +68,31 @@ pub use tensor::Tensor;
 /// gradient with respect to that forward input. Layers accumulate
 /// parameter gradients (they do not overwrite), so call
 /// [`Layer::zero_grad`] between optimizer steps.
-pub trait Layer: std::fmt::Debug + Send {
+pub trait Layer: std::fmt::Debug + Send + Sync {
     /// Compute the layer output for `input`, caching activations
     /// needed by the backward pass.
     fn forward(&mut self, input: &Tensor) -> Tensor;
+
+    /// Inference-only forward pass: same output as [`Layer::forward`]
+    /// (bit-identical for the layers that implement it) but through
+    /// `&self` — no activation caches are written, so nothing is
+    /// retained for `backward` and no per-call buffers need to be
+    /// zeroed or kept alive.
+    ///
+    /// This is the serving path. It runs single-threaded per call;
+    /// callers parallelize **across samples** (see
+    /// `pool::parallel_map`), which keeps each sample's working set
+    /// cache-resident and makes results independent of the worker-pool
+    /// size. Stochastic layers behave as in eval mode (dropout is the
+    /// identity).
+    ///
+    /// # Panics
+    ///
+    /// The default implementation panics: training-oriented layers
+    /// that never appear on a serving path do not implement it.
+    fn infer(&self, _input: &Tensor) -> Tensor {
+        panic!("this layer does not implement the inference-only forward pass");
+    }
 
     /// Propagate `grad_output` (d loss / d output) backward, returning
     /// d loss / d input and accumulating parameter gradients.

@@ -74,6 +74,14 @@ impl Layer for Sequential {
         cur
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let mut cur = input.clone();
+        for layer in &self.layers {
+            cur = layer.infer(&cur);
+        }
+        cur
+    }
+
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
         for layer in &mut self.layers {
             layer.visit_params(visitor);

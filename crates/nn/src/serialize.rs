@@ -2,16 +2,33 @@
 //! [`Layer`] tree.
 //!
 //! Layers are trait objects, so instead of serializing whole layers we
-//! serialize an ordered *state dict* of parameter tensors (including
-//! Adam moments, so training resumes exactly). Restoring walks the
+//! serialize an ordered *state dict* of parameter tensors (values,
+//! gradients, and per-parameter Adam moments). Restoring walks the
 //! same parameter order and verifies shapes.
+//!
+//! A [`StateDict`] alone is **not** enough to resume training exactly:
+//! Adam's bias correction depends on the optimizer's global step
+//! counter `t`, which lives in [`crate::optim::Adam`], not in any
+//! parameter. [`Checkpoint`] is the versioned bundle that pairs a
+//! `StateDict` with an [`AdamState`] so a resumed run is bit-identical
+//! to an uninterrupted one.
 
 use std::fmt;
 use std::path::Path;
 
 use serde::{Deserialize, Serialize};
 
+use crate::optim::AdamState;
 use crate::{Layer, Param, Tensor};
+
+/// Current on-disk format version written by [`Checkpoint::save`].
+///
+/// Version history:
+/// - **1** — initial versioned format: parameter state dict plus
+///   optional Adam optimizer state (step counter + hyper-parameters).
+///   Pre-versioned checkpoints (a bare `StateDict`, which lost the
+///   Adam step counter) are rejected on load.
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 1;
 
 /// Ordered snapshot of every parameter in a layer tree.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -99,6 +116,101 @@ impl StateDict {
     #[must_use]
     pub fn values(&self) -> Vec<&Tensor> {
         self.entries.iter().map(|p| &p.value).collect()
+    }
+}
+
+/// Versioned checkpoint bundle: parameter state plus the optimizer
+/// state a bit-exact training resume needs.
+///
+/// # Example
+///
+/// ```
+/// use nn::layers::Linear;
+/// use nn::optim::Adam;
+/// use nn::serialize::{Checkpoint, StateDict};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut net = Linear::new(4, 2, &mut rng);
+/// let mut adam = Adam::new(1e-3);
+/// adam.step(&mut net);
+///
+/// let ckpt = Checkpoint::new(StateDict::capture(&mut net)).with_optimizer(adam.state());
+/// let restored = Adam::from_state(ckpt.optimizer().unwrap()).unwrap();
+/// assert_eq!(restored.steps(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    format_version: u32,
+    params: StateDict,
+    optimizer: Option<AdamState>,
+}
+
+impl Checkpoint {
+    /// Bundle a parameter snapshot at the current format version,
+    /// without optimizer state (inference-only export).
+    #[must_use]
+    pub fn new(params: StateDict) -> Self {
+        Checkpoint { format_version: CHECKPOINT_FORMAT_VERSION, params, optimizer: None }
+    }
+
+    /// Attach optimizer state so training can resume exactly.
+    #[must_use]
+    pub fn with_optimizer(mut self, optimizer: AdamState) -> Self {
+        self.optimizer = Some(optimizer);
+        self
+    }
+
+    /// Format version this bundle was written with.
+    #[must_use]
+    pub fn format_version(&self) -> u32 {
+        self.format_version
+    }
+
+    /// The parameter snapshot.
+    #[must_use]
+    pub fn params(&self) -> &StateDict {
+        &self.params
+    }
+
+    /// The optimizer state, if this checkpoint carries one.
+    #[must_use]
+    pub fn optimizer(&self) -> Option<&AdamState> {
+        self.optimizer.as_ref()
+    }
+
+    /// Serialize to a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation and serialization errors.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), std::io::Error> {
+        let file = std::fs::File::create(path)?;
+        serde_json::to_writer(std::io::BufWriter::new(file), self).map_err(std::io::Error::other)
+    }
+
+    /// Deserialize from a JSON file written by [`Checkpoint::save`],
+    /// rejecting unknown format versions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file/parse errors; an unsupported `format_version`
+    /// (including pre-versioned bare `StateDict` files, which carry
+    /// none) is reported as [`std::io::ErrorKind::InvalidData`].
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, std::io::Error> {
+        let file = std::fs::File::open(path)?;
+        let ckpt: Checkpoint = serde_json::from_reader(std::io::BufReader::new(file))
+            .map_err(std::io::Error::other)?;
+        if ckpt.format_version != CHECKPOINT_FORMAT_VERSION {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "unsupported checkpoint format version {} (this build reads {})",
+                    ckpt.format_version, CHECKPOINT_FORMAT_VERSION
+                ),
+            ));
+        }
+        Ok(ckpt)
     }
 }
 
@@ -192,5 +304,55 @@ mod tests {
         let loaded = StateDict::load(&path).expect("load");
         assert_eq!(snap, loaded);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_file_roundtrip_preserves_optimizer_state() {
+        use crate::optim::Adam;
+
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut net = Sequential::new().with(Linear::new(3, 2, &mut rng));
+        let mut adam = Adam::new(2e-3).with_betas(0.85, 0.99);
+        net.zero_grad();
+        adam.step(&mut net);
+        adam.step(&mut net);
+
+        let ckpt = Checkpoint::new(StateDict::capture(&mut net)).with_optimizer(adam.state());
+        let dir = std::env::temp_dir().join("nn_checkpoint_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("bundle.json");
+        ckpt.save(&path).expect("save");
+        let loaded = Checkpoint::load(&path).expect("load");
+        let _ = std::fs::remove_file(&path);
+
+        assert_eq!(loaded, ckpt);
+        assert_eq!(loaded.format_version(), CHECKPOINT_FORMAT_VERSION);
+        let state = loaded.optimizer().expect("optimizer state present");
+        assert_eq!(state.t, 2);
+        let restored = Adam::from_state(state).expect("valid state");
+        assert_eq!(restored, adam);
+    }
+
+    #[test]
+    fn checkpoint_load_rejects_unknown_version_and_bare_state_dict() {
+        let dir = std::env::temp_dir().join("nn_checkpoint_version_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+
+        // A future format version must be refused, not misread.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut net = Sequential::new().with(Linear::new(2, 2, &mut rng));
+        let mut ckpt = Checkpoint::new(StateDict::capture(&mut net));
+        ckpt.format_version = CHECKPOINT_FORMAT_VERSION + 1;
+        let future = dir.join("future.json");
+        ckpt.save(&future).expect("save");
+        let err = Checkpoint::load(&future).expect_err("future version must be rejected");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&future);
+
+        // A pre-versioned bare StateDict file has no format_version.
+        let bare = dir.join("bare.json");
+        StateDict::capture(&mut net).save(&bare).expect("save");
+        assert!(Checkpoint::load(&bare).is_err(), "bare StateDict must not load as Checkpoint");
+        let _ = std::fs::remove_file(&bare);
     }
 }

@@ -1,0 +1,465 @@
+//! Batched selective-inference serving — the deployment half of the
+//! paper's Section IV-D: a trained selective model behind an engine
+//! that routes each incoming wafer to a committed prediction or the
+//! reject option, watches rolling coverage for concept shift, and
+//! reports operational metrics.
+//!
+//! The serving path is `train → checkpoint → serve → monitor`:
+//!
+//! 1. Training exports a [`CheckpointBundle`] (architecture +
+//!    parameters, versioned on disk).
+//! 2. [`Engine::from_bundle`] rebuilds the model and
+//!    [`Engine::calibrate`] picks the selection threshold τ from a
+//!    held-out calibration set at a target coverage
+//!    ([`selective::calibrate_threshold`] — exact-or-under).
+//! 3. [`Engine::submit`] runs micro-batched prediction on the no-grad
+//!    inference path (`selective::SelectiveModel::infer_predict`):
+//!    each micro-batch fans out sample-major across the `nn::pool`
+//!    worker pool — no backward caches, thread-local scratch, results
+//!    independent of the pool size — and yields one [`WaferDecision`]
+//!    per wafer.
+//! 4. Every decision feeds a [`CoverageMonitor`]; a sustained coverage
+//!    collapse (the paper's concept-shift signal) surfaces as
+//!    [`CoverageAlarm`]s on the decisions and in the report.
+//!
+//! # Example
+//!
+//! ```
+//! use selective::{CheckpointBundle, SelectiveConfig, SelectiveModel};
+//! use serve::{Engine, Route, ServeConfig};
+//! use wafermap::gen::{generate, GenConfig};
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use wafermap::DefectClass;
+//!
+//! // An untrained tiny model stands in for a real training run.
+//! let config = SelectiveConfig::for_grid(16).with_conv_channels([2, 2, 2]).with_fc(8);
+//! let mut model = SelectiveModel::new(&config, 0);
+//! let bundle = CheckpointBundle::export(&mut model);
+//!
+//! let mut engine = Engine::from_bundle(&bundle, ServeConfig::default()).unwrap();
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let wafer = generate(DefectClass::Center, &GenConfig::new(16), &mut rng);
+//! let decisions = engine.submit(&[wafer]).unwrap();
+//! assert_eq!(decisions.len(), 1);
+//! match decisions[0].route {
+//!     Route::Predicted(_) | Route::Abstained(_) => {}
+//! }
+//! assert_eq!(engine.report().serving.wafers, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::Instant;
+
+use eval::{ServingSnapshot, ServingStats};
+use selective::monitor::{CoverageAlarm, CoverageMonitor};
+use selective::{calibrate_threshold, BundleError, CheckpointBundle, SelectiveModel};
+use serde::{Deserialize, Serialize};
+use wafermap::{Dataset, DefectClass, WaferMap};
+
+/// Serving-engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Wafers per micro-batch submitted to the model in one inference
+    /// pass. Larger batches amortize per-call overhead and fan
+    /// sample-major across the worker pool; 1 degenerates to per-wafer
+    /// inference.
+    pub micro_batch: usize,
+    /// Initial selection threshold τ; [`Engine::calibrate`] replaces
+    /// it with a coverage-calibrated value.
+    pub threshold: f32,
+    /// Coverage the deployed model is expected to sustain (the
+    /// monitor's reference level).
+    pub target_coverage: f64,
+    /// Rolling-window size of the coverage monitor, in wafers.
+    pub monitor_window: usize,
+    /// Alarm when rolling coverage drops below
+    /// `alarm_fraction · target_coverage`.
+    pub alarm_fraction: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            micro_batch: 64,
+            threshold: 0.5,
+            target_coverage: 0.9,
+            monitor_window: 64,
+            alarm_fraction: 0.5,
+        }
+    }
+}
+
+/// Where the engine routed one wafer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Route {
+    /// The model committed to this label.
+    Predicted(DefectClass),
+    /// The model abstained; the payload is the label it *would* have
+    /// predicted (useful for triage of the rejected stream).
+    Abstained(DefectClass),
+}
+
+/// Decision for one submitted wafer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WaferDecision {
+    /// Commit-or-abstain routing.
+    pub route: Route,
+    /// Softmax probability of the (would-be) predicted class.
+    pub confidence: f32,
+    /// Selection-head score `g(x)`.
+    pub selection_score: f32,
+    /// Coverage alarm raised by this wafer's decision, if any.
+    pub alarm: Option<CoverageAlarm>,
+}
+
+impl WaferDecision {
+    /// Whether the model committed to a label.
+    #[must_use]
+    pub fn selected(&self) -> bool {
+        matches!(self.route, Route::Predicted(_))
+    }
+}
+
+/// Errors constructing or driving an [`Engine`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The checkpoint bundle could not be turned into a model.
+    Bundle(BundleError),
+    /// The bundled model predicts more classes than [`DefectClass`]
+    /// can name, so decisions could not be routed.
+    UnsupportedClasses {
+        /// Classes in the bundled model.
+        n_classes: usize,
+    },
+    /// A submitted wafer's grid does not match the model input.
+    GridMismatch {
+        /// Model input side length.
+        expected: usize,
+        /// Offending wafer's dimensions.
+        found: (usize, usize),
+    },
+    /// The configuration is unusable (zero micro-batch or window,
+    /// out-of-range coverage or alarm fraction).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Bundle(e) => write!(f, "cannot load bundle: {e}"),
+            ServeError::UnsupportedClasses { n_classes } => {
+                write!(
+                    f,
+                    "bundled model has {n_classes} classes; serving routes require at most {}",
+                    DefectClass::COUNT
+                )
+            }
+            ServeError::GridMismatch { expected, found } => write!(
+                f,
+                "wafer is {}x{} but the model expects {expected}x{expected}",
+                found.0, found.1
+            ),
+            ServeError::InvalidConfig(why) => write!(f, "invalid serve config: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Bundle(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Report of a serving session: configuration, calibrated threshold,
+/// monitor state and streaming metrics. Serializable — this is the
+/// payload of [`Engine::report_json`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Selection threshold currently in force.
+    pub threshold: f32,
+    /// Wafers per micro-batch.
+    pub micro_batch: usize,
+    /// Coverage the monitor holds the model to.
+    pub target_coverage: f64,
+    /// Rolling coverage over the monitor window.
+    pub rolling_coverage: f64,
+    /// Coverage level below which alarms fire.
+    pub alarm_line: f64,
+    /// Coverage alarms raised so far.
+    pub alarms: u64,
+    /// Most recent alarm, if any ever fired.
+    pub last_alarm: Option<CoverageAlarm>,
+    /// Streaming throughput / latency / per-class decision metrics.
+    pub serving: ServingSnapshot,
+}
+
+/// Batched selective-inference engine. See the [crate docs](self) for
+/// the serving architecture.
+#[derive(Debug)]
+pub struct Engine {
+    model: SelectiveModel,
+    micro_batch: usize,
+    threshold: f32,
+    target_coverage: f64,
+    monitor: CoverageMonitor,
+    stats: ServingStats,
+    alarms: Vec<CoverageAlarm>,
+}
+
+impl Engine {
+    /// Build an engine from a checkpoint bundle: rebuilds the bundled
+    /// model (architecture + parameters) and starts a fresh coverage
+    /// monitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Bundle`] for corrupted bundles,
+    /// [`ServeError::UnsupportedClasses`] when the model's classes
+    /// cannot be routed to [`DefectClass`] labels, and
+    /// [`ServeError::InvalidConfig`] for unusable configurations.
+    pub fn from_bundle(bundle: &CheckpointBundle, config: ServeConfig) -> Result<Self, ServeError> {
+        if config.micro_batch == 0 {
+            return Err(ServeError::InvalidConfig("micro_batch must be non-zero".into()));
+        }
+        if config.monitor_window == 0 {
+            return Err(ServeError::InvalidConfig("monitor_window must be non-zero".into()));
+        }
+        if !(config.target_coverage > 0.0 && config.target_coverage <= 1.0) {
+            return Err(ServeError::InvalidConfig("target_coverage must be in (0, 1]".into()));
+        }
+        if !(config.alarm_fraction > 0.0 && config.alarm_fraction <= 1.0) {
+            return Err(ServeError::InvalidConfig("alarm_fraction must be in (0, 1]".into()));
+        }
+        let n_classes = bundle.model_config().n_classes;
+        if n_classes > DefectClass::COUNT {
+            return Err(ServeError::UnsupportedClasses { n_classes });
+        }
+        let model = bundle.build_model().map_err(ServeError::Bundle)?;
+        Ok(Engine {
+            model,
+            micro_batch: config.micro_batch,
+            threshold: config.threshold,
+            target_coverage: config.target_coverage,
+            monitor: CoverageMonitor::new(
+                config.target_coverage,
+                config.monitor_window,
+                config.alarm_fraction,
+            ),
+            stats: ServingStats::new(n_classes),
+            alarms: Vec::new(),
+        })
+    }
+
+    /// The selection threshold currently in force.
+    #[must_use]
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Side length of the model's input grid.
+    #[must_use]
+    pub fn grid(&self) -> usize {
+        self.model.config().grid
+    }
+
+    /// Calibrate the selection threshold on a held-out calibration set
+    /// so that a fraction `coverage` of it clears τ (exact-or-under;
+    /// see [`selective::calibrate_threshold`]). Replaces the engine's
+    /// threshold and returns the new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calibration set's grid does not match the model.
+    pub fn calibrate(&mut self, calibration: &Dataset, coverage: f64) -> f32 {
+        let scores = self.model.infer_selection_scores(calibration);
+        self.threshold = calibrate_threshold(&scores, coverage);
+        self.threshold
+    }
+
+    /// Run selective inference over `wafers` in micro-batches,
+    /// returning one decision per wafer in input order. Every decision
+    /// is fed to the coverage monitor; any alarm it raises is attached
+    /// to the wafer that triggered it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::GridMismatch`] if any wafer does not
+    /// match the model's input grid (no partial work is performed).
+    pub fn submit(&mut self, wafers: &[WaferMap]) -> Result<Vec<WaferDecision>, ServeError> {
+        let grid = self.grid();
+        for w in wafers {
+            if w.width() != grid || w.height() != grid {
+                return Err(ServeError::GridMismatch {
+                    expected: grid,
+                    found: (w.width(), w.height()),
+                });
+            }
+        }
+        let pixels = grid * grid;
+        let mut decisions = Vec::with_capacity(wafers.len());
+        for chunk in wafers.chunks(self.micro_batch) {
+            let mut data = Vec::with_capacity(chunk.len() * pixels);
+            for w in chunk {
+                data.extend(w.to_image());
+            }
+            let images = nn::Tensor::from_vec(data, &[chunk.len(), 1, grid, grid]);
+            let start = Instant::now();
+            let preds = self.model.infer_predict(&images, self.threshold);
+            let latency = start.elapsed().as_secs_f64();
+            let mut batch_decisions = Vec::with_capacity(preds.len());
+            for p in &preds {
+                let class = DefectClass::from_index(p.label).expect("validated class range");
+                let alarm = self.monitor.observe(p.selected);
+                if let Some(a) = alarm {
+                    self.alarms.push(a);
+                }
+                batch_decisions.push((p.label, p.selected));
+                decisions.push(WaferDecision {
+                    route: if p.selected {
+                        Route::Predicted(class)
+                    } else {
+                        Route::Abstained(class)
+                    },
+                    confidence: p.confidence,
+                    selection_score: p.selection_score,
+                    alarm,
+                });
+            }
+            self.stats.record_batch(latency, &batch_decisions);
+        }
+        Ok(decisions)
+    }
+
+    /// Coverage alarms raised so far, in order.
+    #[must_use]
+    pub fn alarms(&self) -> &[CoverageAlarm] {
+        &self.alarms
+    }
+
+    /// Point-in-time report of the serving session.
+    #[must_use]
+    pub fn report(&self) -> ServeReport {
+        ServeReport {
+            threshold: self.threshold,
+            micro_batch: self.micro_batch,
+            target_coverage: self.target_coverage,
+            rolling_coverage: self.monitor.rolling_coverage(),
+            alarm_line: self.monitor.alarm_line(),
+            alarms: self.alarms.len() as u64,
+            last_alarm: self.alarms.last().copied(),
+            serving: self.stats.snapshot(),
+        }
+    }
+
+    /// The report as pretty-printed JSON — the payload a status
+    /// endpoint would return.
+    #[must_use]
+    pub fn report_json(&self) -> String {
+        serde_json::to_string_pretty(&self.report()).expect("report serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use selective::SelectiveConfig;
+    use wafermap::gen::{generate, GenConfig};
+
+    use super::*;
+
+    fn tiny_bundle(seed: u64) -> CheckpointBundle {
+        let config = SelectiveConfig::for_grid(16).with_conv_channels([2, 2, 2]).with_fc(8);
+        let mut model = SelectiveModel::new(&config, seed);
+        CheckpointBundle::export(&mut model)
+    }
+
+    fn wafers(n: usize, grid: usize, seed: u64) -> Vec<WaferMap> {
+        let cfg = GenConfig::new(grid);
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let class = DefectClass::from_index(i % DefectClass::COUNT).expect("valid");
+                generate(class, &cfg, &mut rng)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn submit_routes_every_wafer_in_order() {
+        let bundle = tiny_bundle(1);
+        let mut engine =
+            Engine::from_bundle(&bundle, ServeConfig { micro_batch: 4, ..ServeConfig::default() })
+                .expect("valid bundle");
+        let input = wafers(10, 16, 2);
+        let decisions = engine.submit(&input).expect("matching grid");
+        assert_eq!(decisions.len(), 10);
+        let report = engine.report();
+        assert_eq!(report.serving.wafers, 10);
+        assert_eq!(report.serving.batches, 3); // 4 + 4 + 2
+        assert_eq!(
+            report.serving.predicted + report.serving.abstained,
+            10,
+            "every wafer is routed exactly once"
+        );
+    }
+
+    #[test]
+    fn grid_mismatch_is_rejected_without_partial_work() {
+        let bundle = tiny_bundle(3);
+        let mut engine = Engine::from_bundle(&bundle, ServeConfig::default()).expect("valid");
+        let mut input = wafers(3, 16, 4);
+        input.push(WaferMap::blank(24, 24));
+        let err = engine.submit(&input).expect_err("wrong grid");
+        assert!(matches!(err, ServeError::GridMismatch { expected: 16, found: (24, 24) }));
+        assert_eq!(engine.report().serving.wafers, 0, "no partial batch was recorded");
+    }
+
+    #[test]
+    fn calibration_sets_exact_or_under_coverage_on_the_calibration_set() {
+        let bundle = tiny_bundle(5);
+        let mut engine = Engine::from_bundle(&bundle, ServeConfig::default()).expect("valid");
+        let mut calib = Dataset::new(16);
+        let cfg = GenConfig::new(16);
+        let mut rng = StdRng::seed_from_u64(6);
+        for i in 0..40 {
+            let class = DefectClass::from_index(i % DefectClass::COUNT).expect("valid");
+            calib.push(wafermap::gen::Sample::original(generate(class, &cfg, &mut rng), class));
+        }
+        let tau = engine.calibrate(&calib, 0.5);
+        assert_eq!(engine.threshold(), tau);
+        let maps: Vec<WaferMap> = calib.samples().iter().map(|s| s.map.clone()).collect();
+        let decisions = engine.submit(&maps).expect("matching grid");
+        let kept = decisions.iter().filter(|d| d.selected()).count();
+        assert!(kept <= 20, "calibration overshot: kept {kept} of 40 at coverage 0.5");
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let bundle = tiny_bundle(7);
+        for bad in [
+            ServeConfig { micro_batch: 0, ..ServeConfig::default() },
+            ServeConfig { monitor_window: 0, ..ServeConfig::default() },
+            ServeConfig { target_coverage: 0.0, ..ServeConfig::default() },
+            ServeConfig { alarm_fraction: 1.5, ..ServeConfig::default() },
+        ] {
+            assert!(matches!(Engine::from_bundle(&bundle, bad), Err(ServeError::InvalidConfig(_))));
+        }
+    }
+
+    #[test]
+    fn report_json_parses_back() {
+        let bundle = tiny_bundle(8);
+        let mut engine = Engine::from_bundle(&bundle, ServeConfig::default()).expect("valid");
+        let _ = engine.submit(&wafers(5, 16, 9)).expect("matching grid");
+        let report: ServeReport =
+            serde_json::from_str(&engine.report_json()).expect("valid JSON report");
+        assert_eq!(report, engine.report());
+    }
+}

@@ -7,14 +7,17 @@ use rand::Rng;
 use crate::{Die, WaferMap};
 
 /// Rotate a wafer map by `degrees` (counter-clockwise) about the wafer
-/// centre using nearest-neighbour sampling, then re-impose the circular
-/// wafer mask of the input.
+/// centre using nearest-neighbour sampling, then re-impose the wafer
+/// mask of the input: every die that is off-wafer in `map` stays
+/// off-wafer in the result, and no on-wafer die is ever masked out.
 ///
 /// Algorithm 1 rotates each synthetic image by `i * 360 / n_r`; because
 /// the wafer is circular, rotation keeps the map physically plausible.
-/// Destination dies whose source falls off-grid or off-wafer become
-/// [`Die::Pass`] (background), mirroring how WM-811K renders rotated
-/// wafers.
+/// The mask is taken from the *input* (not an idealized circle), so
+/// maps with irregular masks — e.g. real wafers loaded via `io` with
+/// notches or flats — keep their exact footprint. Destination dies
+/// whose source falls off-grid or off-wafer become [`Die::Pass`]
+/// (background), mirroring how WM-811K renders rotated wafers.
 ///
 /// # Example
 ///
@@ -32,10 +35,10 @@ pub fn rotate(map: &WaferMap, degrees: f32) -> WaferMap {
     let radians = degrees.to_radians();
     let (sin, cos) = radians.sin_cos();
     let (cx, cy) = map.center();
-    let mut out = WaferMap::blank(map.width(), map.height());
+    let mut out = map.clone();
     for y in 0..map.height() {
         for x in 0..map.width() {
-            if !out.get(x, y).is_on_wafer() {
+            if !map.get(x, y).is_on_wafer() {
                 continue;
             }
             // Inverse rotation: sample the source location that maps
@@ -226,6 +229,52 @@ mod tests {
             cur = rotate(&cur, 90.0);
         }
         assert_eq!(die_disagreement(&map, &cur), 0.0);
+    }
+
+    #[test]
+    fn rotate_preserves_irregular_non_circular_mask() {
+        // A square wafer with one corner notched off-wafer — nothing
+        // like the idealized circle `WaferMap::blank` produces.
+        let w = 9;
+        let mut dies = vec![Die::Pass; w * w];
+        for y in 0..3 {
+            for x in 0..3 {
+                dies[y * w + x] = Die::OffWafer;
+            }
+        }
+        let mut map = WaferMap::from_dies(w, w, dies).expect("valid grid");
+        map.set(4, 1, Die::Fail);
+        let rot = rotate(&map, 90.0);
+        // The notch must survive: no off-wafer die becomes Pass, and
+        // the on-wafer footprint is exactly the input's.
+        assert_eq!(rot.on_wafer_count(), map.on_wafer_count());
+        for y in 0..w {
+            for x in 0..w {
+                assert_eq!(
+                    rot.get(x, y).is_on_wafer(),
+                    map.get(x, y).is_on_wafer(),
+                    "mask changed at ({x}, {y})"
+                );
+            }
+        }
+        // The defect still rotated: the quarter turn sends (4, 1)
+        // north of centre to (7, 4) east of it.
+        assert_eq!(rot.fail_count(), 1);
+        assert_eq!(rot.get(7, 4), Die::Fail);
+    }
+
+    #[test]
+    fn rotate_samples_off_wafer_sources_as_pass() {
+        // A die whose rotated source lands in the notch gets Pass,
+        // not the source's OffWafer marker.
+        let w = 9;
+        let mut dies = vec![Die::Pass; w * w];
+        dies[4] = Die::OffWafer; // (4, 0): north of centre
+        let map = WaferMap::from_dies(w, w, dies).expect("valid grid");
+        let rot = rotate(&map, 90.0);
+        // (8, 4) samples from the off-wafer (4, 0) under this turn.
+        assert_eq!(rot.get(8, 4), Die::Pass);
+        assert_eq!(rot.get(4, 0), Die::OffWafer, "mask untouched");
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //! - [`baseline`] — the Radon + geometry feature SVM baseline
 //!   (Wu et al., "SVM \[2\]" in the paper).
 //! - [`eval`] — confusion matrices, precision/recall/F1, coverage and
-//!   selective-risk metrics.
+//!   selective-risk metrics, plus serving-side operational stats.
+//! - [`serve`] — batched selective-inference serving: checkpoint
+//!   loading, threshold calibration, routing, and coverage-shift
+//!   alarms (the paper's Section IV-D deployment story).
 //!
 //! # Quickstart
 //!
@@ -38,6 +41,7 @@ pub use baseline;
 pub use eval;
 pub use nn;
 pub use selective;
+pub use serve;
 pub use wafermap;
 
 /// Convenient re-exports of the most commonly used types.
@@ -45,7 +49,10 @@ pub mod prelude {
     pub use augment::{AugmentConfig, Augmenter};
     pub use baseline::{FeatureConfig, SvmBaseline};
     pub use eval::{ConfusionMatrix, SelectiveMetrics};
-    pub use selective::{SelectiveConfig, SelectiveModel, TrainConfig, TrainReport, Trainer};
+    pub use selective::{
+        CheckpointBundle, SelectiveConfig, SelectiveModel, TrainConfig, TrainReport, Trainer,
+    };
+    pub use serve::{Engine, Route, ServeConfig, WaferDecision};
     pub use wafermap::{
         gen::{GenConfig, SyntheticWm811k},
         Dataset, DefectClass, Die, Sample, WaferMap,
