@@ -1,0 +1,64 @@
+//! Telemetry must be a pure observer of augmentation: `balance` with
+//! a registry attached produces the exact same dataset as without
+//! one, while the registry records the per-class work it watched.
+
+use augment::{AugmentConfig, Augmenter};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use telemetry::Registry;
+use wafermap::gen::{generate, GenConfig, Sample};
+use wafermap::{Dataset, DefectClass};
+
+const GRID: usize = 16;
+
+/// A deliberately imbalanced dataset: plenty of Center, few Donut.
+fn imbalanced_dataset() -> Dataset {
+    let cfg = GenConfig::new(GRID);
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut ds = Dataset::new(GRID);
+    for _ in 0..12 {
+        ds.push(Sample::original(
+            generate(DefectClass::Center, &cfg, &mut rng),
+            DefectClass::Center,
+        ));
+    }
+    for _ in 0..3 {
+        ds.push(Sample::original(generate(DefectClass::Donut, &cfg, &mut rng), DefectClass::Donut));
+    }
+    ds
+}
+
+#[test]
+fn balance_is_identical_with_telemetry_attached() {
+    let dataset = imbalanced_dataset();
+    let config = AugmentConfig::new(12).with_channels([4, 4, 4]).with_ae_epochs(1);
+
+    let bare = Augmenter::new(config, 4).balance(&dataset);
+
+    let registry = Registry::new();
+    let wired = Augmenter::new(config, 4).with_telemetry(registry.clone()).balance(&dataset);
+
+    // Bit-identical output: same synthetics, same order, same dies.
+    assert_eq!(bare, wired, "telemetry changed the augmented dataset");
+    assert!(wired.len() > dataset.len(), "balancing must add synthetics");
+
+    // ...while the registry saw the per-class work.
+    let snapshot = registry.snapshot();
+    assert!(!snapshot.is_empty(), "balance left no telemetry behind");
+    let synthetics = snapshot
+        .counters
+        .iter()
+        .find(|c| c.name == "augment_synthetics_total")
+        .expect("augmenter registers a synthetics counter");
+    assert_eq!(
+        synthetics.value,
+        (wired.len() - dataset.len()) as u64,
+        "synthetics counter must match the dataset growth"
+    );
+    assert!(
+        snapshot.counters.iter().any(|c| c.name == "augment_classes_total" && c.value > 0),
+        "at least one class must have been augmented"
+    );
+    let text = registry.prometheus();
+    telemetry::parse_exposition(&text).expect("valid Prometheus exposition");
+}

@@ -18,6 +18,7 @@ use augment::{AugmentConfig, Augmenter};
 use nn::pool::{self, ComputeMode};
 use selective::{SelectiveConfig, SelectiveModel, TrainConfig, Trainer};
 use serde::Serialize;
+use telemetry::Registry;
 use wafermap::gen::SyntheticWm811k;
 use wafermap::DefectClass;
 
@@ -34,6 +35,11 @@ struct Report {
     description: String,
     pool_threads: usize,
     entries: Vec<Entry>,
+    /// Telemetry accumulated by the instrumented train/augment runs
+    /// (loss decomposition, per-class augmentation work, timings).
+    telemetry: telemetry::Snapshot,
+    /// Worker-pool counters for the whole process (global registry).
+    pool_telemetry: telemetry::Snapshot,
 }
 
 fn rand_vec(len: usize, seed: u64) -> Vec<f32> {
@@ -107,10 +113,12 @@ fn gemm_sweep(entries: &mut Vec<Entry>) {
 }
 
 /// One training epoch of the Table I selective CNN on a 32×32 grid.
-fn train_epoch(entries: &mut Vec<Entry>) {
+fn train_epoch(entries: &mut Vec<Entry>, registry: &Registry) {
     println!("Training (1 epoch, grid 32, Table I architecture)");
     let (train, _) = SyntheticWm811k::new(32).scale(0.01).seed(2020).build();
     let config = SelectiveConfig::for_grid(32);
+    // Instrumented in both modes: telemetry is bit-neutral and its
+    // cost is identical on either side of the comparison.
     let trainer = Trainer::new(TrainConfig {
         epochs: 1,
         batch_size: 32,
@@ -119,7 +127,8 @@ fn train_epoch(entries: &mut Vec<Entry>) {
         lambda: 0.5,
         alpha: 0.5,
         seed: 2020,
-    });
+    })
+    .with_telemetry(registry.clone());
     compare(entries, "train_epoch_grid32", 1, 3, || {
         let mut model = SelectiveModel::new(&config, 2020);
         let _ = trainer.run(&mut model, &train);
@@ -127,14 +136,15 @@ fn train_epoch(entries: &mut Vec<Entry>) {
 }
 
 /// Algorithm 1 for one class (auto-encoder training + generation).
-fn augment_one_class(entries: &mut Vec<Entry>) {
+fn augment_one_class(entries: &mut Vec<Entry>, registry: &Registry) {
     println!("Augmentation (one class, grid 16)");
     let (train, _) = SyntheticWm811k::new(16).scale(0.004).seed(2020).build();
     let n_cl = train.of_class(DefectClass::Donut).len().max(1);
     let augmenter = Augmenter::new(
         AugmentConfig::new(n_cl * 4).with_channels([8, 8, 8]).with_ae_epochs(4),
         2020,
-    );
+    )
+    .with_telemetry(registry.clone());
     compare(entries, "augment_class_grid16", 1, 3, || {
         let _ = augmenter.augment_class(&train, DefectClass::Donut);
     });
@@ -142,6 +152,7 @@ fn augment_one_class(entries: &mut Vec<Entry>) {
 
 fn main() {
     let mut entries = Vec::new();
+    let registry = Registry::new();
     println!(
         "perf_report: legacy (pre-optimization) vs pooled (blocked GEMM + worker pool), \
          {} pool thread(s)\n",
@@ -149,14 +160,16 @@ fn main() {
     );
     println!("  {:<28} {:>13} {:>13} {:>8}", "workload", "legacy", "pooled", "speedup");
     gemm_sweep(&mut entries);
-    train_epoch(&mut entries);
-    augment_one_class(&mut entries);
+    train_epoch(&mut entries, &registry);
+    augment_one_class(&mut entries, &registry);
 
     let report = Report {
         description: "legacy vs pooled compute core; times are best-of-samples wall-clock ms"
             .to_string(),
         pool_threads: pool::num_threads(),
         entries,
+        telemetry: registry.snapshot(),
+        pool_telemetry: telemetry::global().snapshot(),
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write("BENCH_compute.json", json).expect("write BENCH_compute.json");

@@ -53,6 +53,9 @@ struct Report {
     speedup: f64,
     /// Batched engine vs the per-wafer engine (batching alone).
     speedup_vs_per_wafer_engine: f64,
+    /// Telemetry snapshot of the best batched engine pass (the same
+    /// registry `Engine::prometheus` renders for scrapes).
+    telemetry: telemetry::Snapshot,
 }
 
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
@@ -110,7 +113,7 @@ fn run_modes(
     bundle: &CheckpointBundle,
     workload: &[WaferMap],
     samples: u32,
-) -> (ModeResult, ModeResult, ModeResult) {
+) -> (ModeResult, ModeResult, ModeResult, telemetry::Snapshot) {
     // Warm-up pass per mode: pages in weights and thread-local
     // scratch so the first timed sample is not an outlier.
     let _ = baseline_pass(bundle, workload);
@@ -157,8 +160,10 @@ fn run_modes(
             latency_p99_ms: report.serving.latency.p99 * 1e3,
         };
     let per_wafer = engine_result(1, eng1.expect("at least one sample"));
-    let batched = engine_result(64, eng64.expect("at least one sample"));
-    (baseline, per_wafer, batched)
+    let (batched_ms, batched_report) = eng64.expect("at least one sample");
+    let batched_telemetry = batched_report.telemetry.clone();
+    let batched = engine_result(64, (batched_ms, batched_report));
+    (baseline, per_wafer, batched, batched_telemetry)
 }
 
 fn main() {
@@ -181,7 +186,7 @@ fn main() {
         if smoke { " [smoke]" } else { "" }
     );
 
-    let (baseline, per_wafer, batched) = run_modes(&bundle, &workload, samples);
+    let (baseline, per_wafer, batched, batched_telemetry) = run_modes(&bundle, &workload, samples);
     let speedup = batched.throughput_wafers_per_sec / baseline.throughput_wafers_per_sec;
     let speedup_vs_per_wafer_engine =
         batched.throughput_wafers_per_sec / per_wafer.throughput_wafers_per_sec;
@@ -216,6 +221,7 @@ fn main() {
         batched,
         speedup,
         speedup_vs_per_wafer_engine,
+        telemetry: batched_telemetry,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write("BENCH_serve.json", json).expect("write BENCH_serve.json");

@@ -1,3 +1,5 @@
+use std::time::Instant;
+
 use nn::loss::{accuracy, softmax_cross_entropy};
 use nn::optim::Adam;
 use nn::Tensor;
@@ -5,6 +7,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use telemetry::Registry;
 
 use crate::bundle::{BundleError, CheckpointBundle, TrainProgress};
 use crate::{SelectiveLoss, SelectiveModel};
@@ -88,6 +91,58 @@ impl TrainReport {
 #[derive(Debug, Clone)]
 pub struct Trainer {
     config: TrainConfig,
+    telemetry: Option<Registry>,
+}
+
+/// Metric handles the trainer records into, resolved once per run.
+///
+/// Everything recorded is a value the training loop already computed
+/// (loss terms, sample counts, wall-clock time) — recording changes no
+/// RNG draw and no arithmetic, so trained weights are bit-identical
+/// with telemetry on or off (`tests/telemetry_neutral.rs`).
+struct TrainMetrics {
+    epochs: telemetry::Counter,
+    batches: telemetry::Counter,
+    samples: telemetry::Counter,
+    loss: telemetry::Gauge,
+    selective_risk: telemetry::Gauge,
+    coverage: telemetry::Gauge,
+    penalty: telemetry::Gauge,
+    plain_risk: telemetry::Gauge,
+    accuracy: telemetry::Gauge,
+    throughput: telemetry::Gauge,
+    epoch_seconds: telemetry::Histogram,
+    batch_seconds: telemetry::Histogram,
+}
+
+impl TrainMetrics {
+    fn new(registry: &Registry) -> Self {
+        TrainMetrics {
+            epochs: registry.counter("train_epochs_total", "Epochs completed"),
+            batches: registry.counter("train_batches_total", "Mini-batches stepped"),
+            samples: registry.counter("train_samples_total", "Samples seen (with repeats)"),
+            loss: registry.gauge("train_loss", "Mean training objective, last epoch"),
+            selective_risk: registry
+                .gauge("train_selective_risk", "Mean selective risk term, last epoch"),
+            coverage: registry.gauge("train_coverage", "Mean empirical coverage, last epoch"),
+            penalty: registry.gauge("train_penalty", "Mean coverage penalty term, last epoch"),
+            plain_risk: registry
+                .gauge("train_plain_risk", "Mean plain cross-entropy term, last epoch"),
+            accuracy: registry.gauge("train_accuracy", "Training accuracy, last epoch"),
+            throughput: registry
+                .gauge("train_throughput_samples_per_sec", "Samples per second, last epoch"),
+            epoch_seconds: registry.histogram(
+                "train_epoch_seconds",
+                "Wall-clock time per epoch",
+                telemetry::DEFAULT_WINDOW,
+            ),
+            batch_seconds: registry.histogram(
+                "train_batch_seconds",
+                "Wall-clock time per mini-batch step",
+                telemetry::DEFAULT_WINDOW,
+            ),
+        }
+    }
 }
 
 impl Trainer {
@@ -105,7 +160,17 @@ impl Trainer {
             config.target_coverage > 0.0 && config.target_coverage <= 1.0,
             "target coverage must be in (0, 1]"
         );
-        Trainer { config }
+        Trainer { config, telemetry: None }
+    }
+
+    /// Record per-epoch and per-batch metrics (timing, loss
+    /// decomposition, coverage, throughput) into `registry` during
+    /// every subsequent run. Instrumentation is read-only: trained
+    /// weights are bit-identical with or without it.
+    #[must_use]
+    pub fn with_telemetry(mut self, registry: Registry) -> Self {
+        self.telemetry = Some(registry);
+        self
     }
 
     /// The training configuration.
@@ -254,14 +319,20 @@ impl Trainer {
             .with_alpha(self.config.alpha);
         let samples = dataset.samples();
         let mut epochs = Vec::with_capacity(end.saturating_sub(start));
+        let metrics = self.telemetry.as_ref().map(TrainMetrics::new);
 
         for epoch in start..end {
+            let epoch_start = Instant::now();
             order.shuffle(rng);
             let mut loss_sum = 0.0f64;
             let mut cov_sum = 0.0f64;
             let mut acc_sum = 0.0f64;
+            let mut risk_sum = 0.0f64;
+            let mut pen_sum = 0.0f64;
+            let mut plain_sum = 0.0f64;
             let mut seen = 0usize;
             for batch in order.chunks(self.config.batch_size) {
+                let batch_start = Instant::now();
                 let mut data = Vec::with_capacity(batch.len() * pixels);
                 let mut labels = Vec::with_capacity(batch.len());
                 let mut weights = Vec::with_capacity(batch.len());
@@ -272,11 +343,14 @@ impl Trainer {
                 }
                 let images = Tensor::from_vec(data, &[batch.len(), 1, grid, grid]);
                 let (logits, g, aux) = model.forward_full(&images);
-                let (loss, coverage) = if plain {
+                // Each branch reports (objective, coverage, selective
+                // risk, coverage penalty, plain CE) so the loss
+                // decomposition can be surfaced without recomputation.
+                let (loss, coverage, risk, penalty, plain_ce) = if plain {
                     let (l, grad) = softmax_cross_entropy(&logits, &labels, Some(&weights));
                     model.zero_grad();
                     model.backward(&grad, &vec![0.0f32; batch.len()]);
-                    (l, 1.0)
+                    (l, 1.0, l, 0.0, l)
                 } else if let Some(aux_logits) = &aux {
                     // SelectiveNet-style: pure selective objective on
                     // (f, g), plain cross-entropy on the auxiliary
@@ -294,13 +368,25 @@ impl Trainer {
                     grad_aux.scale(1.0 - alpha);
                     model.zero_grad();
                     model.backward_full(&grad_logits, &grad_g, Some(&grad_aux));
-                    (alpha * value.total + (1.0 - alpha) * ce, value.coverage)
+                    (
+                        alpha * value.total + (1.0 - alpha) * ce,
+                        value.coverage,
+                        value.selective_risk,
+                        value.penalty,
+                        ce,
+                    )
                 } else {
                     let (value, grad_logits, grad_g) =
                         selective.compute(&logits, &g, &labels, &weights);
                     model.zero_grad();
                     model.backward(&grad_logits, &grad_g);
-                    (value.total, value.coverage)
+                    (
+                        value.total,
+                        value.coverage,
+                        value.selective_risk,
+                        value.penalty,
+                        value.plain_risk,
+                    )
                 };
                 model.step(adam);
 
@@ -308,15 +394,36 @@ impl Trainer {
                 loss_sum += f64::from(loss) * b;
                 cov_sum += f64::from(coverage) * b;
                 acc_sum += f64::from(accuracy(&logits, &labels)) * b;
+                risk_sum += f64::from(risk) * b;
+                pen_sum += f64::from(penalty) * b;
+                plain_sum += f64::from(plain_ce) * b;
                 seen += batch.len();
+                if let Some(m) = &metrics {
+                    m.batches.inc();
+                    m.samples.add(batch.len() as u64);
+                    m.batch_seconds.observe(batch_start.elapsed().as_secs_f64());
+                }
             }
             let n = seen as f64;
-            epochs.push(EpochStats {
+            let stats = EpochStats {
                 epoch,
                 loss: (loss_sum / n) as f32,
                 coverage: (cov_sum / n) as f32,
                 accuracy: (acc_sum / n) as f32,
-            });
+            };
+            if let Some(m) = &metrics {
+                let elapsed = epoch_start.elapsed().as_secs_f64();
+                m.epochs.inc();
+                m.epoch_seconds.observe(elapsed);
+                m.loss.set(f64::from(stats.loss));
+                m.coverage.set(f64::from(stats.coverage));
+                m.accuracy.set(f64::from(stats.accuracy));
+                m.selective_risk.set(risk_sum / n);
+                m.penalty.set(pen_sum / n);
+                m.plain_risk.set(plain_sum / n);
+                m.throughput.set(if elapsed > 0.0 { n / elapsed } else { 0.0 });
+            }
+            epochs.push(stats);
         }
         epochs
     }

@@ -1,0 +1,60 @@
+//! Telemetry must be a pure observer: training with a registry
+//! attached produces bit-identical weights and reports to training
+//! without one, and the snapshot it fills is non-empty and renders in
+//! both exposition formats.
+
+use selective::{SelectiveConfig, SelectiveModel, TrainConfig, Trainer};
+use telemetry::Registry;
+use wafermap::gen::SyntheticWm811k;
+
+#[test]
+fn training_is_bit_identical_with_telemetry_attached() {
+    let (train, _) = SyntheticWm811k::new(16).scale(0.002).seed(3).build();
+    let config = SelectiveConfig::for_grid(16).with_conv_channels([4, 4, 4]).with_fc(16);
+    let train_config = TrainConfig {
+        epochs: 2,
+        batch_size: 16,
+        learning_rate: 3e-3,
+        target_coverage: 0.75,
+        seed: 5,
+        ..TrainConfig::default()
+    };
+
+    let mut bare_model = SelectiveModel::new(&config, 5);
+    let bare_report = Trainer::new(train_config).run(&mut bare_model, &train);
+
+    let registry = Registry::new();
+    let mut wired_model = SelectiveModel::new(&config, 5);
+    let wired_report =
+        Trainer::new(train_config).with_telemetry(registry.clone()).run(&mut wired_model, &train);
+
+    // Identical training trajectory, to the last bit.
+    assert_eq!(bare_report, wired_report, "telemetry changed the training report");
+    let bare = bare_model.state_dict();
+    let wired = wired_model.state_dict();
+    let (bare, wired) = (bare.values(), wired.values());
+    assert_eq!(bare.len(), wired.len());
+    for (a, b) in bare.iter().zip(&wired) {
+        assert_eq!(a.shape(), b.shape());
+        assert_eq!(a.data(), b.data(), "telemetry changed the trained weights");
+    }
+
+    // ...while the registry observed the whole run.
+    let snapshot = registry.snapshot();
+    assert!(!snapshot.is_empty(), "training left no telemetry behind");
+    let epochs = snapshot
+        .counters
+        .iter()
+        .find(|c| c.name == "train_epochs_total")
+        .expect("trainer registers an epoch counter");
+    assert_eq!(epochs.value, 2);
+    assert!(snapshot.histograms.iter().any(|h| h.name == "train_epoch_seconds"));
+
+    // Both exposition formats round-trip.
+    let json = serde_json::to_string(&snapshot).expect("snapshot serializes");
+    let back: telemetry::Snapshot = serde_json::from_str(&json).expect("snapshot deserializes");
+    assert_eq!(back, snapshot);
+    let text = registry.prometheus();
+    let parsed = telemetry::parse_exposition(&text).expect("valid Prometheus exposition");
+    assert!(parsed.samples > 0, "exposition must carry samples");
+}

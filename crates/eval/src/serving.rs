@@ -6,8 +6,16 @@
 //! serving layer records `(class, selected)` decision pairs plus
 //! per-batch wall-clock latencies, and reads back a serializable
 //! [`ServingSnapshot`] suitable for a JSON status endpoint.
+//!
+//! Latency and batch-size samples live in bounded
+//! [`telemetry::Window`] ring buffers, so the accumulator holds
+//! **O(window) memory no matter how long the service runs**. Stream
+//! totals (wafer counts, busy time, coverage) stay exact; latency
+//! *percentiles* describe the most recent window, which is what a
+//! status endpoint should report anyway.
 
 use serde::{Deserialize, Serialize};
+use telemetry::{Window, DEFAULT_WINDOW};
 
 /// Accumulator for serving-time metrics.
 ///
@@ -29,20 +37,34 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Default)]
 pub struct ServingStats {
     n_classes: usize,
-    batch_latencies: Vec<f64>,
-    batch_sizes: Vec<usize>,
+    batch_latencies: Window,
+    batch_sizes: Window,
+    wafers: u64,
     predicted_per_class: Vec<u64>,
     abstained_per_class: Vec<u64>,
 }
 
 impl ServingStats {
-    /// Fresh accumulator for a model with `n_classes` classes.
+    /// Fresh accumulator for a model with `n_classes` classes, keeping
+    /// the default [`DEFAULT_WINDOW`] most recent latency samples.
     #[must_use]
     pub fn new(n_classes: usize) -> Self {
+        ServingStats::with_window(n_classes, DEFAULT_WINDOW)
+    }
+
+    /// Fresh accumulator retaining at most `window` recent latency and
+    /// batch-size samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn with_window(n_classes: usize, window: usize) -> Self {
         ServingStats {
             n_classes,
-            batch_latencies: Vec::new(),
-            batch_sizes: Vec::new(),
+            batch_latencies: Window::new(window),
+            batch_sizes: Window::new(window),
+            wafers: 0,
             predicted_per_class: vec![0; n_classes],
             abstained_per_class: vec![0; n_classes],
         }
@@ -62,8 +84,9 @@ impl ServingStats {
             latency_secs.is_finite() && latency_secs >= 0.0,
             "latency must be finite and non-negative"
         );
-        self.batch_latencies.push(latency_secs);
-        self.batch_sizes.push(decisions.len());
+        self.batch_latencies.observe(latency_secs);
+        self.batch_sizes.observe(decisions.len() as f64);
+        self.wafers += decisions.len() as u64;
         for &(class, selected) in decisions {
             assert!(class < self.n_classes, "class index {class} out of range");
             if selected {
@@ -74,25 +97,44 @@ impl ServingStats {
         }
     }
 
-    /// Number of micro-batches recorded so far.
+    /// Number of micro-batches recorded over the whole stream (exact,
+    /// not windowed).
     #[must_use]
     pub fn batches(&self) -> usize {
+        self.batch_latencies.count() as usize
+    }
+
+    /// Total wafers across all recorded batches (exact, not windowed).
+    #[must_use]
+    pub fn wafers(&self) -> u64 {
+        self.wafers
+    }
+
+    /// Latency samples currently retained (`<= window_capacity`).
+    #[must_use]
+    pub fn window_len(&self) -> usize {
         self.batch_latencies.len()
     }
 
-    /// Total wafers across all recorded batches.
+    /// Maximum retained latency samples — the memory bound.
     #[must_use]
-    pub fn wafers(&self) -> u64 {
-        self.batch_sizes.iter().map(|&b| b as u64).sum()
+    pub fn window_capacity(&self) -> usize {
+        self.batch_latencies.capacity()
     }
 
     /// Point-in-time snapshot of every derived metric.
+    ///
+    /// Counts, coverage and throughput are exact over the whole
+    /// stream; the latency distribution summarizes the retained
+    /// window of recent batches.
     #[must_use]
     pub fn snapshot(&self) -> ServingSnapshot {
         let wafers = self.wafers();
         let predicted: u64 = self.predicted_per_class.iter().sum();
         let abstained: u64 = self.abstained_per_class.iter().sum();
-        let busy: f64 = self.batch_latencies.iter().sum();
+        // Exact total busy time: the window's running sum covers the
+        // whole stream even after old samples are evicted.
+        let busy: f64 = self.batch_latencies.sum();
         ServingSnapshot {
             batches: self.batches() as u64,
             wafers,
@@ -100,7 +142,9 @@ impl ServingStats {
             abstained,
             coverage: if wafers == 0 { 0.0 } else { predicted as f64 / wafers as f64 },
             throughput_wafers_per_sec: if busy > 0.0 { wafers as f64 / busy } else { 0.0 },
-            latency: LatencySummary::from_samples(&self.batch_latencies),
+            latency: LatencySummary::from_samples(self.batch_latencies.samples()),
+            latency_window_len: self.window_len(),
+            latency_window_capacity: self.window_capacity(),
             predicted_per_class: self.predicted_per_class.clone(),
             abstained_per_class: self.abstained_per_class.clone(),
         }
@@ -167,8 +211,13 @@ pub struct ServingSnapshot {
     /// Wafers per second of model compute time (sum of batch
     /// latencies, excluding idle gaps between batches).
     pub throughput_wafers_per_sec: f64,
-    /// Per-batch latency distribution.
+    /// Per-batch latency distribution over the retained window of
+    /// recent batches.
     pub latency: LatencySummary,
+    /// Latency samples the distribution was computed from.
+    pub latency_window_len: usize,
+    /// Maximum retained latency samples (the memory bound).
+    pub latency_window_capacity: usize,
     /// Committed predictions per class index.
     pub predicted_per_class: Vec<u64>,
     /// Abstentions per (would-be) class index.
@@ -236,5 +285,33 @@ mod tests {
     fn out_of_range_class_rejected() {
         let mut stats = ServingStats::new(2);
         stats.record_batch(0.001, &[(2, true)]);
+    }
+
+    #[test]
+    fn memory_stays_bounded_while_totals_stay_exact() {
+        let mut stats = ServingStats::with_window(2, 8);
+        // 1000 batches of 3 wafers: 125x the window capacity.
+        for i in 0..1000 {
+            let latency = 0.001 * f64::from(i % 10 + 1);
+            stats.record_batch(latency, &[(0, true), (1, true), (1, false)]);
+        }
+        assert_eq!(stats.window_len(), 8, "window must not grow past capacity");
+        assert_eq!(stats.window_capacity(), 8);
+        let snap = stats.snapshot();
+        // Totals are exact over the whole stream.
+        assert_eq!(snap.batches, 1000);
+        assert_eq!(snap.wafers, 3000);
+        assert_eq!(snap.predicted, 2000);
+        assert_eq!(snap.abstained, 1000);
+        assert!((snap.coverage - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(snap.latency_window_len, 8);
+        assert_eq!(snap.latency_window_capacity, 8);
+        // Throughput uses the exact busy-time sum, not the window:
+        // 100 rounds of (1+..+10) ms = 5.5 s for 3000 wafers.
+        assert!((snap.throughput_wafers_per_sec - 3000.0 / 5.5).abs() < 1e-6);
+        // The percentile summary describes only the retained window
+        // (the last 8 batches: latencies 3..=10 ms).
+        assert!((snap.latency.max - 0.010).abs() < 1e-12);
+        assert!((snap.latency.p50 - 0.006).abs() < 1e-12);
     }
 }

@@ -171,6 +171,46 @@ thread_local! {
     static IN_POOL: Cell<bool> = const { Cell::new(false) };
 }
 
+/// Pool counters, registered once in the process-wide
+/// [`telemetry::global`] registry (the pool is itself a process-wide
+/// singleton with no owning object to hang a registry off).
+struct PoolMetrics {
+    /// Regions fanned out across the pool.
+    jobs: telemetry::Counter,
+    /// Regions run serially inline (single chunk, limit 1, legacy
+    /// mode, or nested inside a pool chunk).
+    serial_regions: telemetry::Counter,
+    /// Chunks executed, by anyone.
+    chunks: telemetry::Counter,
+    /// Chunks executed by pool worker threads (the rest ran on the
+    /// submitting thread) — `worker_chunks / chunks` is the pool's
+    /// effective utilization.
+    worker_chunks: telemetry::Counter,
+    /// Submissions that found another job in flight and had to queue.
+    queue_waits: telemetry::Counter,
+    /// Current thread limit (including the submitting thread).
+    thread_limit: telemetry::Gauge,
+}
+
+fn metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = telemetry::global();
+        PoolMetrics {
+            jobs: registry.counter("pool_jobs_total", "Parallel regions fanned out to the pool"),
+            serial_regions: registry
+                .counter("pool_serial_regions_total", "Parallel regions run serially inline"),
+            chunks: registry.counter("pool_chunks_total", "Chunks executed"),
+            worker_chunks: registry
+                .counter("pool_worker_chunks_total", "Chunks executed on pool worker threads"),
+            queue_waits: registry
+                .counter("pool_queue_waits_total", "Submissions that queued behind another job"),
+            thread_limit: registry
+                .gauge("pool_thread_limit", "Thread limit including the submitting thread"),
+        }
+    })
+}
+
 fn spawn_worker(index: usize) {
     std::thread::Builder::new()
         .name(format!("wm-pool-{index}"))
@@ -193,23 +233,27 @@ fn spawn_worker(index: usize) {
                         state = shared.work.wait(state).expect("pool lock");
                     }
                 };
-                run_chunks(&job);
+                run_chunks(&job, true);
             }
         })
         .expect("spawn pool worker");
 }
 
 /// Claim-and-run loop shared by workers and the submitting thread.
-fn run_chunks(job: &Job) {
+/// Chunk counters are accumulated locally and published once per call
+/// so the claim loop stays free of shared-cacheline traffic.
+fn run_chunks(job: &Job, is_worker: bool) {
     // SAFETY: `parallel_for` keeps the closure alive until
     // `job.finished == job.chunks`, and we only reach this dereference
     // for chunk indices `< chunks`, i.e. strictly before completion.
     let func = unsafe { &*job.func.0 };
+    let mut ran = 0u64;
     loop {
         let chunk = job.next.fetch_add(1, Ordering::Relaxed);
         if chunk >= job.chunks {
-            return;
+            break;
         }
+        ran += 1;
         if catch_unwind(AssertUnwindSafe(|| func(chunk))).is_err() {
             job.panicked.store(true, Ordering::Release);
         }
@@ -221,6 +265,13 @@ fn run_chunks(job: &Job) {
             }
             drop(state);
             shared.done.notify_all();
+        }
+    }
+    if ran > 0 {
+        let m = metrics();
+        m.chunks.add(ran);
+        if is_worker {
+            m.worker_chunks.add(ran);
         }
     }
 }
@@ -246,6 +297,7 @@ where
     }
     let nested = IN_POOL.with(Cell::get);
     if chunks == 1 || nested || compute_mode() == ComputeMode::Legacy || num_threads() <= 1 {
+        metrics().serial_regions.inc();
         for chunk in 0..chunks {
             body(chunk);
         }
@@ -265,6 +317,9 @@ where
         let mut state = shared.state.lock().expect("pool lock");
         // One job at a time; queue behind any region another thread is
         // running (its completion notifies `done`).
+        if state.job.is_some() {
+            metrics().queue_waits.inc();
+        }
         while state.job.is_some() {
             state = shared.done.wait(state).expect("pool lock");
         }
@@ -283,12 +338,15 @@ where
             panicked: AtomicBool::new(false),
         });
         state.job = Some(job.clone());
+        let m = metrics();
+        m.jobs.inc();
+        m.thread_limit.set(state.limit as f64);
         shared.work.notify_all();
         job
     };
 
     IN_POOL.with(|f| f.set(true));
-    run_chunks(&job);
+    run_chunks(&job, false);
     IN_POOL.with(|f| f.set(false));
 
     let mut state = shared.state.lock().expect("pool lock");
@@ -447,6 +505,34 @@ mod tests {
         let got = parallel_map(5, |i| i + 1);
         set_compute_mode(ComputeMode::Pooled);
         assert_eq!(got, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn pool_counters_record_jobs_and_chunks() {
+        // Counters are process-global and shared with concurrently
+        // running tests, so assert on deltas of monotone counters.
+        let read = |name: &str| {
+            telemetry::global()
+                .snapshot()
+                .counters
+                .iter()
+                .find(|c| c.name == name)
+                .map_or(0, |c| c.value)
+        };
+        set_thread_limit(4);
+        let jobs0 = read("pool_jobs_total");
+        let chunks0 = read("pool_chunks_total");
+        parallel_for(16, |_| {});
+        set_thread_limit(default_limit());
+        assert!(read("pool_jobs_total") > jobs0, "fanned-out region must count as a job");
+        assert!(read("pool_chunks_total") >= chunks0 + 16, "all 16 chunks must be counted");
+
+        let serial0 = read("pool_serial_regions_total");
+        parallel_for(1, |_| {});
+        assert!(
+            read("pool_serial_regions_total") > serial0,
+            "single-chunk region must count as serial"
+        );
     }
 
     #[test]

@@ -57,6 +57,7 @@ use eval::{ServingSnapshot, ServingStats};
 use selective::monitor::{CoverageAlarm, CoverageMonitor};
 use selective::{calibrate_threshold, BundleError, CheckpointBundle, SelectiveModel};
 use serde::{Deserialize, Serialize};
+use telemetry::{Counter, Gauge, Histogram, Registry, Snapshot};
 use wafermap::{Dataset, DefectClass, WaferMap};
 
 /// Serving-engine configuration.
@@ -78,6 +79,11 @@ pub struct ServeConfig {
     /// Alarm when rolling coverage drops below
     /// `alarm_fraction · target_coverage`.
     pub alarm_fraction: f64,
+    /// Latency / batch-size samples retained by the streaming stats
+    /// and the latency histogram — the engine's memory bound: state is
+    /// O(`stats_window` + `monitor_window`) no matter how many wafers
+    /// stream through.
+    pub stats_window: usize,
 }
 
 impl Default for ServeConfig {
@@ -88,6 +94,7 @@ impl Default for ServeConfig {
             target_coverage: 0.9,
             monitor_window: 64,
             alarm_fraction: 0.5,
+            stats_window: telemetry::DEFAULT_WINDOW,
         }
     }
 }
@@ -141,6 +148,9 @@ pub enum ServeError {
         /// Offending wafer's dimensions.
         found: (usize, usize),
     },
+    /// [`Engine::calibrate`] was handed an empty calibration set —
+    /// there are no selection scores to pick a threshold from.
+    EmptyCalibration,
     /// The configuration is unusable (zero micro-batch or window,
     /// out-of-range coverage or alarm fraction).
     InvalidConfig(String),
@@ -162,6 +172,9 @@ impl fmt::Display for ServeError {
                 "wafer is {}x{} but the model expects {expected}x{expected}",
                 found.0, found.1
             ),
+            ServeError::EmptyCalibration => {
+                write!(f, "calibration set is empty; cannot pick a threshold")
+            }
             ServeError::InvalidConfig(why) => write!(f, "invalid serve config: {why}"),
         }
     }
@@ -197,6 +210,50 @@ pub struct ServeReport {
     pub last_alarm: Option<CoverageAlarm>,
     /// Streaming throughput / latency / per-class decision metrics.
     pub serving: ServingSnapshot,
+    /// Point-in-time view of the engine's telemetry registry (the
+    /// same data [`Engine::prometheus`] renders for scrapes).
+    pub telemetry: Snapshot,
+}
+
+/// Metric handles the engine records into on the hot path; resolved
+/// once at construction so `submit` never does a registry lookup.
+#[derive(Debug)]
+struct EngineMetrics {
+    wafers: Counter,
+    predicted: Counter,
+    abstained: Counter,
+    batches: Counter,
+    alarms: Counter,
+    calibrations: Counter,
+    threshold: Gauge,
+    rolling_coverage: Gauge,
+    batch_seconds: Histogram,
+    batch_size: Histogram,
+}
+
+impl EngineMetrics {
+    fn new(registry: &Registry, window: usize) -> Self {
+        EngineMetrics {
+            wafers: registry.counter("serve_wafers_total", "Wafers routed by the engine"),
+            predicted: registry
+                .counter("serve_predicted_total", "Wafers the model committed a label to"),
+            abstained: registry
+                .counter("serve_abstained_total", "Wafers routed to the reject option"),
+            batches: registry.counter("serve_batches_total", "Micro-batches run"),
+            alarms: registry.counter("serve_alarms_total", "Coverage alarms raised"),
+            calibrations: registry
+                .counter("serve_calibrations_total", "Threshold calibrations performed"),
+            threshold: registry.gauge("serve_threshold", "Selection threshold tau in force"),
+            rolling_coverage: registry
+                .gauge("serve_rolling_coverage", "Coverage over the monitor window"),
+            batch_seconds: registry.histogram(
+                "serve_batch_seconds",
+                "Micro-batch inference latency in seconds",
+                window,
+            ),
+            batch_size: registry.histogram("serve_batch_size", "Wafers per micro-batch", window),
+        }
+    }
 }
 
 /// Batched selective-inference engine. See the [crate docs](self) for
@@ -210,6 +267,8 @@ pub struct Engine {
     monitor: CoverageMonitor,
     stats: ServingStats,
     alarms: Vec<CoverageAlarm>,
+    registry: Registry,
+    metrics: EngineMetrics,
 }
 
 impl Engine {
@@ -236,11 +295,17 @@ impl Engine {
         if !(config.alarm_fraction > 0.0 && config.alarm_fraction <= 1.0) {
             return Err(ServeError::InvalidConfig("alarm_fraction must be in (0, 1]".into()));
         }
+        if config.stats_window == 0 {
+            return Err(ServeError::InvalidConfig("stats_window must be non-zero".into()));
+        }
         let n_classes = bundle.model_config().n_classes;
         if n_classes > DefectClass::COUNT {
             return Err(ServeError::UnsupportedClasses { n_classes });
         }
         let model = bundle.build_model().map_err(ServeError::Bundle)?;
+        let registry = Registry::new();
+        let metrics = EngineMetrics::new(&registry, config.stats_window);
+        metrics.threshold.set(f64::from(config.threshold));
         Ok(Engine {
             model,
             micro_batch: config.micro_batch,
@@ -251,8 +316,10 @@ impl Engine {
                 config.monitor_window,
                 config.alarm_fraction,
             ),
-            stats: ServingStats::new(n_classes),
+            stats: ServingStats::with_window(n_classes, config.stats_window),
             alarms: Vec::new(),
+            registry,
+            metrics,
         })
     }
 
@@ -273,13 +340,30 @@ impl Engine {
     /// see [`selective::calibrate_threshold`]). Replaces the engine's
     /// threshold and returns the new value.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the calibration set's grid does not match the model.
-    pub fn calibrate(&mut self, calibration: &Dataset, coverage: f64) -> f32 {
+    /// Returns [`ServeError::GridMismatch`] when the calibration set's
+    /// grid does not match the model input (the same validation
+    /// [`Engine::submit`] applies), and
+    /// [`ServeError::EmptyCalibration`] when the set has no samples —
+    /// a threshold picked from zero scores would silently default
+    /// rather than reflect the requested coverage.
+    pub fn calibrate(&mut self, calibration: &Dataset, coverage: f64) -> Result<f32, ServeError> {
+        if calibration.is_empty() {
+            return Err(ServeError::EmptyCalibration);
+        }
+        let grid = self.grid();
+        if calibration.grid() != grid {
+            return Err(ServeError::GridMismatch {
+                expected: grid,
+                found: (calibration.grid(), calibration.grid()),
+            });
+        }
         let scores = self.model.infer_selection_scores(calibration);
         self.threshold = calibrate_threshold(&scores, coverage);
-        self.threshold
+        self.metrics.calibrations.inc();
+        self.metrics.threshold.set(f64::from(self.threshold));
+        Ok(self.threshold)
     }
 
     /// Run selective inference over `wafers` in micro-batches,
@@ -313,11 +397,17 @@ impl Engine {
             let preds = self.model.infer_predict(&images, self.threshold);
             let latency = start.elapsed().as_secs_f64();
             let mut batch_decisions = Vec::with_capacity(preds.len());
+            let mut predicted = 0u64;
+            let mut batch_alarms = 0u64;
             for p in &preds {
                 let class = DefectClass::from_index(p.label).expect("validated class range");
                 let alarm = self.monitor.observe(p.selected);
                 if let Some(a) = alarm {
                     self.alarms.push(a);
+                    batch_alarms += 1;
+                }
+                if p.selected {
+                    predicted += 1;
                 }
                 batch_decisions.push((p.label, p.selected));
                 decisions.push(WaferDecision {
@@ -332,6 +422,15 @@ impl Engine {
                 });
             }
             self.stats.record_batch(latency, &batch_decisions);
+            let m = &self.metrics;
+            m.batches.inc();
+            m.wafers.add(preds.len() as u64);
+            m.predicted.add(predicted);
+            m.abstained.add(preds.len() as u64 - predicted);
+            m.alarms.add(batch_alarms);
+            m.batch_seconds.observe(latency);
+            m.batch_size.observe(preds.len() as f64);
+            m.rolling_coverage.set(self.monitor.rolling_coverage());
         }
         Ok(decisions)
     }
@@ -354,6 +453,7 @@ impl Engine {
             alarms: self.alarms.len() as u64,
             last_alarm: self.alarms.last().copied(),
             serving: self.stats.snapshot(),
+            telemetry: self.registry.snapshot(),
         }
     }
 
@@ -362,6 +462,20 @@ impl Engine {
     #[must_use]
     pub fn report_json(&self) -> String {
         serde_json::to_string_pretty(&self.report()).expect("report serializes")
+    }
+
+    /// The engine's telemetry registry. Handy for tests or for merging
+    /// engine metrics into a wider process registry snapshot.
+    #[must_use]
+    pub fn telemetry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The engine's metrics in the Prometheus text exposition format —
+    /// the payload a `/metrics` scrape endpoint would return.
+    #[must_use]
+    pub fn prometheus(&self) -> String {
+        self.registry.prometheus()
     }
 }
 
@@ -432,7 +546,7 @@ mod tests {
             let class = DefectClass::from_index(i % DefectClass::COUNT).expect("valid");
             calib.push(wafermap::gen::Sample::original(generate(class, &cfg, &mut rng), class));
         }
-        let tau = engine.calibrate(&calib, 0.5);
+        let tau = engine.calibrate(&calib, 0.5).expect("valid calibration set");
         assert_eq!(engine.threshold(), tau);
         let maps: Vec<WaferMap> = calib.samples().iter().map(|s| s.map.clone()).collect();
         let decisions = engine.submit(&maps).expect("matching grid");
@@ -448,9 +562,69 @@ mod tests {
             ServeConfig { monitor_window: 0, ..ServeConfig::default() },
             ServeConfig { target_coverage: 0.0, ..ServeConfig::default() },
             ServeConfig { alarm_fraction: 1.5, ..ServeConfig::default() },
+            ServeConfig { stats_window: 0, ..ServeConfig::default() },
         ] {
             assert!(matches!(Engine::from_bundle(&bundle, bad), Err(ServeError::InvalidConfig(_))));
         }
+    }
+
+    #[test]
+    fn calibrate_rejects_grid_mismatch_without_changing_threshold() {
+        let bundle = tiny_bundle(11);
+        let mut engine = Engine::from_bundle(&bundle, ServeConfig::default()).expect("valid");
+        let before = engine.threshold();
+        // 24-grid calibration set against a 16-grid model.
+        let mut calib = Dataset::new(24);
+        let cfg = GenConfig::new(24);
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..4 {
+            calib.push(wafermap::gen::Sample::original(
+                generate(DefectClass::Center, &cfg, &mut rng),
+                DefectClass::Center,
+            ));
+        }
+        let err = engine.calibrate(&calib, 0.9).expect_err("mismatched grid");
+        assert!(matches!(err, ServeError::GridMismatch { expected: 16, found: (24, 24) }));
+        assert_eq!(engine.threshold(), before, "failed calibration must not move tau");
+    }
+
+    #[test]
+    fn calibrate_rejects_empty_set() {
+        let bundle = tiny_bundle(13);
+        let mut engine = Engine::from_bundle(&bundle, ServeConfig::default()).expect("valid");
+        let err = engine.calibrate(&Dataset::new(16), 0.9).expect_err("empty set");
+        assert!(matches!(err, ServeError::EmptyCalibration));
+    }
+
+    #[test]
+    fn report_carries_telemetry_in_both_formats() {
+        let bundle = tiny_bundle(15);
+        let mut engine =
+            Engine::from_bundle(&bundle, ServeConfig { micro_batch: 4, ..ServeConfig::default() })
+                .expect("valid");
+        let _ = engine.submit(&wafers(10, 16, 16)).expect("matching grid");
+        let report = engine.report();
+        assert!(!report.telemetry.is_empty());
+        let find = |name: &str| {
+            report
+                .telemetry
+                .counters
+                .iter()
+                .find(|c| c.name == name)
+                .unwrap_or_else(|| panic!("missing counter {name}"))
+                .value
+        };
+        assert_eq!(find("serve_wafers_total"), 10);
+        assert_eq!(find("serve_batches_total"), 3);
+        assert_eq!(
+            find("serve_predicted_total") + find("serve_abstained_total"),
+            10,
+            "telemetry counters must agree with the routed wafer count"
+        );
+        let text = engine.prometheus();
+        let parsed = telemetry::parse_exposition(&text).expect("valid exposition");
+        assert!(parsed.samples > 0);
+        assert!(parsed.families.iter().any(|(n, _)| n == "serve_batch_seconds"));
     }
 
     #[test]

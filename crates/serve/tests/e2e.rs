@@ -82,7 +82,7 @@ fn shifted_workload_trips_the_coverage_alarm() {
 
     // Calibrate τ on held-out in-distribution data at 90% coverage.
     let calibration = nominal_dataset(16, 3);
-    let tau = engine.calibrate(&calibration, 0.9);
+    let tau = engine.calibrate(&calibration, 0.9).expect("valid calibration set");
     assert!(tau.is_finite());
 
     // A healthy in-distribution stream serves without alarms.

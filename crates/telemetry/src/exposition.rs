@@ -1,0 +1,298 @@
+//! Format checker for the Prometheus text exposition format.
+//!
+//! [`parse_exposition`] is the self-check half of the exposition
+//! contract: everything [`Snapshot::to_prometheus`](crate::Snapshot)
+//! renders must parse back cleanly, and CI smoke runs feed live
+//! output through it so a formatting regression fails the build
+//! instead of silently corrupting a scrape.
+
+use std::fmt;
+
+/// Summary of a successfully parsed exposition payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exposition {
+    /// `(family name, type)` pairs in declaration order.
+    pub families: Vec<(String, String)>,
+    /// Total number of sample lines.
+    pub samples: usize,
+}
+
+/// A format violation, with the 1-based line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpositionError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ExpositionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "exposition line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ExpositionError {}
+
+fn err(line: usize, message: impl Into<String>) -> ExpositionError {
+    ExpositionError { line, message: message.into() }
+}
+
+fn is_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn is_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn is_sample_value(s: &str) -> bool {
+    matches!(s, "NaN" | "+Inf" | "-Inf" | "Inf") || s.parse::<f64>().is_ok()
+}
+
+const KNOWN_TYPES: [&str; 5] = ["counter", "gauge", "summary", "histogram", "untyped"];
+
+/// Which family a sample line belongs to: summaries and histograms
+/// append `_sum` / `_count` / `_bucket` to the family name.
+fn family_of<'a>(name: &'a str, declared: &[(String, String)]) -> &'a str {
+    for suffix in ["_sum", "_count", "_bucket"] {
+        if let Some(stem) = name.strip_suffix(suffix) {
+            if declared.iter().any(|(n, t)| n == stem && (t == "summary" || t == "histogram")) {
+                return stem;
+            }
+        }
+    }
+    name
+}
+
+/// Parse the label block `k="v",...` (without the surrounding braces).
+fn check_labels(body: &str, line_no: usize) -> Result<(), ExpositionError> {
+    let mut rest = body;
+    loop {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| err(line_no, format!("label pair without `=`: `{rest}`")))?;
+        let label = &rest[..eq];
+        if !is_label_name(label) {
+            return Err(err(line_no, format!("invalid label name `{label}`")));
+        }
+        rest = &rest[eq + 1..];
+        let mut chars = rest.char_indices();
+        if chars.next().map(|(_, c)| c) != Some('"') {
+            return Err(err(line_no, format!("label `{label}` value is not quoted")));
+        }
+        // Scan the escaped value for the closing quote.
+        let mut close = None;
+        let mut escaped = false;
+        for (i, c) in chars {
+            if escaped {
+                if !matches!(c, '\\' | '"' | 'n') {
+                    return Err(err(line_no, format!("invalid escape `\\{c}` in label value")));
+                }
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                close = Some(i);
+                break;
+            }
+        }
+        let close = close.ok_or_else(|| err(line_no, "unterminated label value"))?;
+        rest = &rest[close + 1..];
+        match rest.strip_prefix(',') {
+            Some(more) if !more.is_empty() => rest = more,
+            Some(_) | None if rest.is_empty() || rest == "," => return Ok(()),
+            _ => return Err(err(line_no, format!("unexpected `{rest}` after label value"))),
+        }
+    }
+}
+
+/// Validate a Prometheus text exposition payload.
+///
+/// Checks, line by line:
+///
+/// - `# TYPE` comments name a valid metric and a known type, and no
+///   family is re-declared with a different type;
+/// - `# HELP` comments name a valid metric;
+/// - sample lines have a valid metric name, well-formed labels
+///   (quoted, escaped values), and a numeric value (an optional
+///   trailing integer timestamp is accepted);
+/// - every sample belongs to a family with a declared `# TYPE` (this
+///   crate's renderer always declares types, so an undeclared sample
+///   means a corrupted payload).
+///
+/// Returns the declared families and the total sample count.
+///
+/// # Errors
+///
+/// Returns [`ExpositionError`] with the offending 1-based line number
+/// on the first violation.
+pub fn parse_exposition(text: &str) -> Result<Exposition, ExpositionError> {
+    let mut families: Vec<(String, String)> = Vec::new();
+    let mut samples = 0usize;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim_end();
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(decl) = comment.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let name = parts.next().ok_or_else(|| err(line_no, "TYPE without a name"))?;
+                let kind = parts.next().ok_or_else(|| err(line_no, "TYPE without a type"))?;
+                if !is_metric_name(name) {
+                    return Err(err(line_no, format!("invalid metric name `{name}` in TYPE")));
+                }
+                if !KNOWN_TYPES.contains(&kind) {
+                    return Err(err(line_no, format!("unknown metric type `{kind}`")));
+                }
+                if let Some((_, prev)) = families.iter().find(|(n, _)| n == name) {
+                    if prev != kind {
+                        return Err(err(
+                            line_no,
+                            format!("family `{name}` re-declared as `{kind}` (was `{prev}`)"),
+                        ));
+                    }
+                } else {
+                    families.push((name.to_string(), kind.to_string()));
+                }
+            } else if let Some(decl) = comment.strip_prefix("HELP ") {
+                let name = decl.split_whitespace().next().unwrap_or("");
+                if !is_metric_name(name) {
+                    return Err(err(line_no, format!("invalid metric name `{name}` in HELP")));
+                }
+            }
+            // Other `#` lines are free-form comments.
+            continue;
+        }
+
+        // Sample line: name[{labels}] value [timestamp]
+        let name_end = line
+            .find(|c: char| c == '{' || c.is_whitespace())
+            .ok_or_else(|| err(line_no, "sample line without a value"))?;
+        let name = &line[..name_end];
+        if !is_metric_name(name) {
+            return Err(err(line_no, format!("invalid metric name `{name}`")));
+        }
+        let mut rest = &line[name_end..];
+        if let Some(after_brace) = rest.strip_prefix('{') {
+            let close =
+                after_brace.find('}').ok_or_else(|| err(line_no, "unterminated label block"))?;
+            check_labels(&after_brace[..close], line_no)?;
+            rest = &after_brace[close + 1..];
+        }
+        let mut parts = rest.split_whitespace();
+        let value = parts.next().ok_or_else(|| err(line_no, "sample line without a value"))?;
+        if !is_sample_value(value) {
+            return Err(err(line_no, format!("invalid sample value `{value}`")));
+        }
+        if let Some(ts) = parts.next() {
+            if ts.parse::<i64>().is_err() {
+                return Err(err(line_no, format!("invalid timestamp `{ts}`")));
+            }
+        }
+        if let Some(extra) = parts.next() {
+            return Err(err(line_no, format!("trailing content `{extra}` on sample line")));
+        }
+        let family = family_of(name, &families);
+        if !families.iter().any(|(n, _)| n == family) {
+            return Err(err(line_no, format!("sample `{name}` has no `# TYPE` declaration")));
+        }
+        samples += 1;
+    }
+
+    Ok(Exposition { families, samples })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn rendered_output_always_parses() {
+        let r = Registry::new();
+        r.counter("jobs_total", "Jobs").add(3);
+        r.counter_with("per_class_total", &[("class", "Edge-Ring")], "Per class").add(2);
+        r.gauge("coverage", "Rolling \"coverage\"\nover the window").set(0.875);
+        let h = r.histogram("latency_seconds", "Latency", 16);
+        for i in 0..40 {
+            h.observe(f64::from(i) * 1e-3);
+        }
+        let text = r.prometheus();
+        let parsed = parse_exposition(&text).expect("renderer emits valid exposition");
+        assert_eq!(
+            parsed.families,
+            vec![
+                ("jobs_total".into(), "counter".into()),
+                ("per_class_total".into(), "counter".into()),
+                ("coverage".into(), "gauge".into()),
+                ("latency_seconds".into(), "summary".into()),
+            ]
+        );
+        // 2 counters + 1 gauge + 3 quantiles + sum + count.
+        assert_eq!(parsed.samples, 8);
+    }
+
+    #[test]
+    fn accepts_timestamps_and_special_values() {
+        let text = "# TYPE x gauge\nx{a=\"b\"} NaN 1700000000\n# TYPE y gauge\ny +Inf\n";
+        let parsed = parse_exposition(text).expect("valid");
+        assert_eq!(parsed.samples, 2);
+    }
+
+    #[test]
+    fn rejects_bad_metric_name() {
+        let text = "# TYPE ok gauge\n9bad 1\n";
+        let e = parse_exposition(text).expect_err("invalid name");
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("invalid metric name"));
+    }
+
+    #[test]
+    fn rejects_unquoted_label_value() {
+        let text = "# TYPE m counter\nm{a=b} 1\n";
+        assert!(parse_exposition(text).is_err());
+    }
+
+    #[test]
+    fn rejects_non_numeric_value() {
+        let text = "# TYPE m counter\nm one\n";
+        let e = parse_exposition(text).expect_err("invalid value");
+        assert!(e.message.contains("invalid sample value"));
+    }
+
+    #[test]
+    fn rejects_undeclared_family() {
+        let text = "stray_metric 1\n";
+        let e = parse_exposition(text).expect_err("no TYPE");
+        assert!(e.message.contains("no `# TYPE`"));
+    }
+
+    #[test]
+    fn rejects_type_redeclaration() {
+        let text = "# TYPE m counter\n# TYPE m gauge\n";
+        let e = parse_exposition(text).expect_err("conflict");
+        assert!(e.message.contains("re-declared"));
+    }
+
+    #[test]
+    fn summary_suffixes_resolve_to_their_family() {
+        let text = "# TYPE s summary\ns{quantile=\"0.5\"} 1\ns_sum 2\ns_count 3\n";
+        let parsed = parse_exposition(text).expect("valid summary");
+        assert_eq!(parsed.samples, 3);
+    }
+
+    #[test]
+    fn unterminated_label_block_is_rejected() {
+        let text = "# TYPE m counter\nm{a=\"b\" 1\n";
+        assert!(parse_exposition(text).is_err());
+    }
+}

@@ -1,0 +1,251 @@
+//! Bounded observation storage: a ring buffer of recent samples with
+//! exact running totals.
+
+use serde::{Deserialize, Serialize};
+
+/// Default window capacity used when a caller does not pick one.
+pub const DEFAULT_WINDOW: usize = 1024;
+
+/// A bounded sample window over an unbounded observation stream.
+///
+/// Stores at most `capacity` recent samples in a ring buffer —
+/// **O(capacity) memory no matter how many observations arrive** —
+/// alongside an exact running `count` and `sum` over the whole stream.
+/// Distribution statistics (percentiles, min/max, mean) therefore
+/// describe the recent window; totals (`count`, `sum`) describe the
+/// entire stream.
+///
+/// This is a plain value type (no interior mutability): accumulators
+/// that need one per instance embed it directly, and the shared
+/// [`Histogram`](crate::Histogram) metric wraps one in a mutex.
+///
+/// # Example
+///
+/// ```
+/// use telemetry::Window;
+///
+/// let mut w = Window::new(4);
+/// for i in 0..100 {
+///     w.observe(i as f64);
+/// }
+/// assert_eq!(w.len(), 4); // bounded
+/// assert_eq!(w.count(), 100); // exact over the stream
+/// assert_eq!(w.sum(), (0..100).sum::<i64>() as f64);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Window {
+    capacity: usize,
+    /// Ring storage; grows up to `capacity` then wraps.
+    samples: Vec<f64>,
+    /// Next write position once the ring is full.
+    next: usize,
+    count: u64,
+    sum: f64,
+}
+
+impl Default for Window {
+    fn default() -> Self {
+        Window::new(DEFAULT_WINDOW)
+    }
+}
+
+impl Window {
+    /// Empty window holding at most `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be non-zero");
+        Window { capacity, samples: Vec::new(), next: 0, count: 0, sum: 0.0 }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        if self.samples.len() < self.capacity {
+            self.samples.push(value);
+        } else {
+            self.samples[self.next] = value;
+            self.next = (self.next + 1) % self.capacity;
+        }
+    }
+
+    /// Maximum number of retained samples.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of samples currently retained (`<= capacity`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no observation has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Exact number of observations over the whole stream.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all observations over the whole stream.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// The retained samples (window contents, unspecified order).
+    #[must_use]
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Summarize the window and stream totals.
+    #[must_use]
+    pub fn summary(&self) -> WindowSummary {
+        if self.samples.is_empty() {
+            return WindowSummary {
+                count: self.count,
+                sum: self.sum,
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                p50: 0.0,
+                p90: 0.0,
+                p99: 0.0,
+                window_len: 0,
+                window_capacity: self.capacity,
+            };
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        // Nearest-rank percentile: the smallest sample with at least
+        // p% of the window at or below it.
+        let rank = |p: f64| -> f64 {
+            let idx = ((p / 100.0) * n as f64).ceil() as usize;
+            sorted[idx.clamp(1, n) - 1]
+        };
+        WindowSummary {
+            count: self.count,
+            sum: self.sum,
+            min: sorted[0],
+            max: sorted[n - 1],
+            mean: sorted.iter().sum::<f64>() / n as f64,
+            p50: rank(50.0),
+            p90: rank(90.0),
+            p99: rank(99.0),
+            window_len: n,
+            window_capacity: self.capacity,
+        }
+    }
+}
+
+/// Point-in-time summary of a [`Window`]: exact stream totals plus
+/// distribution statistics over the retained window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowSummary {
+    /// Observations over the whole stream (exact, not windowed).
+    pub count: u64,
+    /// Sum over the whole stream (exact, not windowed).
+    pub sum: f64,
+    /// Smallest sample in the window.
+    pub min: f64,
+    /// Largest sample in the window.
+    pub max: f64,
+    /// Mean of the window samples.
+    pub mean: f64,
+    /// Median (nearest-rank) of the window samples.
+    pub p50: f64,
+    /// 90th percentile of the window samples.
+    pub p90: f64,
+    /// 99th percentile of the window samples.
+    pub p99: f64,
+    /// Samples currently retained.
+    pub window_len: usize,
+    /// Maximum retained samples.
+    pub window_capacity: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_stays_bounded_over_long_streams() {
+        let mut w = Window::new(8);
+        for i in 0..10_000 {
+            w.observe(f64::from(i));
+        }
+        assert_eq!(w.len(), 8);
+        assert_eq!(w.capacity(), 8);
+        assert_eq!(w.count(), 10_000);
+        // Ring holds exactly the most recent 8 observations.
+        let mut kept: Vec<f64> = w.samples().to_vec();
+        kept.sort_by(f64::total_cmp);
+        assert_eq!(kept, (9992..10_000).map(f64::from).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn totals_are_exact_while_percentiles_are_windowed() {
+        let mut w = Window::new(4);
+        for v in [1.0, 2.0, 3.0, 4.0, 100.0, 100.0, 100.0, 100.0] {
+            w.observe(v);
+        }
+        let s = w.summary();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.sum, 410.0);
+        // The early small samples were evicted.
+        assert_eq!(s.p50, 100.0);
+        assert_eq!(s.min, 100.0);
+        assert_eq!(s.window_len, 4);
+    }
+
+    #[test]
+    fn empty_summary_is_all_zero_except_capacity() {
+        let s = Window::new(16).summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.window_len, 0);
+        assert_eq!(s.window_capacity, 16);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let mut w = Window::new(100);
+        for i in 1..=100 {
+            w.observe(f64::from(i) / 1000.0);
+        }
+        let s = w.summary();
+        assert!((s.p50 - 0.050).abs() < 1e-12);
+        assert!((s.p90 - 0.090).abs() < 1e-12);
+        assert!((s.p99 - 0.099).abs() < 1e-12);
+        assert!((s.max - 0.100).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let mut w = Window::new(3);
+        for v in [0.5, 1.5, 2.5, 3.5] {
+            w.observe(v);
+        }
+        let json = serde_json::to_string(&w).expect("serialize");
+        let back: Window = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, w);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = Window::new(0);
+    }
+}

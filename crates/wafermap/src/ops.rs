@@ -70,7 +70,11 @@ pub fn rotate(map: &WaferMap, degrees: f32) -> WaferMap {
 /// (Algorithm 1, line 9).
 ///
 /// `rate` is clamped to `[0, 1]`. Off-wafer locations are never
-/// touched, so the wafer mask is preserved.
+/// touched, so the wafer mask is preserved. The flipped locations are
+/// **distinct** (sampled without replacement via a partial
+/// Fisher–Yates shuffle), so exactly `round(rate * on_wafer_count)`
+/// dies change state — sampling with replacement would silently
+/// undershoot the requested noise rate whenever a location repeats.
 ///
 /// # Example
 ///
@@ -88,10 +92,18 @@ pub fn rotate(map: &WaferMap, degrees: f32) -> WaferMap {
 pub fn salt_and_pepper<R: Rng + ?Sized>(map: &WaferMap, rate: f32, rng: &mut R) -> WaferMap {
     let rate = rate.clamp(0.0, 1.0);
     let mut out = map.clone();
-    let coords: Vec<(usize, usize)> = map.iter_on_wafer().map(|(x, y, _)| (x, y)).collect();
-    let flips = ((coords.len() as f32) * rate).round() as usize;
-    for _ in 0..flips {
-        let (x, y) = coords[rng.gen_range(0..coords.len())];
+    let mut coords: Vec<(usize, usize)> = map.iter_on_wafer().map(|(x, y, _)| (x, y)).collect();
+    let n = coords.len();
+    // `rate <= 1.0`, so `flips <= n` and the partial shuffle below
+    // never indexes past the end.
+    let flips = ((n as f32) * rate).round() as usize;
+    // Partial Fisher–Yates: one `gen_range` per flip (the same RNG
+    // stream discipline as the old with-replacement draw), but each
+    // chosen coordinate is distinct.
+    for i in 0..flips {
+        let j = rng.gen_range(i..n);
+        coords.swap(i, j);
+        let (x, y) = coords[i];
         let die = out.get(x, y);
         out.set(x, y, die.flipped());
     }
@@ -113,8 +125,14 @@ pub fn quantize(image: &[f32], reference: &WaferMap) -> Result<WaferMap, crate::
 }
 
 /// Mirror a wafer map horizontally (about the vertical axis through
-/// the wafer centre). Because the wafer is circular, the mask maps
-/// onto itself and the result is a valid wafer.
+/// the wafer centre), re-imposing the wafer mask of the input exactly
+/// as [`rotate`] does: off-wafer dies stay off-wafer, and an on-wafer
+/// die whose mirrored source is off-wafer becomes [`Die::Pass`].
+///
+/// A circular mask maps onto itself under a mirror, but real wafers
+/// loaded via `io` can carry notches or flats that do not — copying
+/// the mirrored die verbatim would relocate `OffWafer` markers and
+/// corrupt the physical footprint.
 ///
 /// # Example
 ///
@@ -129,27 +147,31 @@ pub fn quantize(image: &[f32], reference: &WaferMap) -> Result<WaferMap, crate::
 #[must_use]
 pub fn flip_horizontal(map: &WaferMap) -> WaferMap {
     let w = map.width();
-    let h = map.height();
     let mut out = map.clone();
-    for y in 0..h {
-        for x in 0..w {
-            out.set(x, y, map.get(w - 1 - x, y));
-        }
+    for (x, y, _) in map.iter_on_wafer() {
+        let die = match map.get(w - 1 - x, y) {
+            Die::OffWafer => Die::Pass,
+            d => d,
+        };
+        out.set(x, y, die);
     }
     out
 }
 
 /// Mirror a wafer map vertically (about the horizontal axis through
-/// the wafer centre).
+/// the wafer centre), re-imposing the input's wafer mask — see
+/// [`flip_horizontal`] for why the mask must come from the input
+/// rather than the mirrored source.
 #[must_use]
 pub fn flip_vertical(map: &WaferMap) -> WaferMap {
-    let w = map.width();
     let h = map.height();
     let mut out = map.clone();
-    for y in 0..h {
-        for x in 0..w {
-            out.set(x, y, map.get(x, h - 1 - y));
-        }
+    for (x, y, _) in map.iter_on_wafer() {
+        let die = match map.get(x, h - 1 - y) {
+            Die::OffWafer => Die::Pass,
+            d => d,
+        };
+        out.set(x, y, die);
     }
     out
 }
@@ -290,10 +312,21 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let noisy = salt_and_pepper(&map, 0.05, &mut rng);
         let expected = (map.on_wafer_count() as f32 * 0.05).round() as usize;
-        // All flips start from Pass so each distinct flip produces one
-        // Fail; collisions can only reduce the count.
-        assert!(noisy.fail_count() <= expected);
-        assert!(noisy.fail_count() >= expected / 2);
+        // Flip locations are sampled without replacement, and every
+        // die starts as Pass, so the fail count is exactly the
+        // requested number of flips — no collision undershoot.
+        assert_eq!(noisy.fail_count(), expected);
+    }
+
+    #[test]
+    fn salt_and_pepper_flips_exactly_rate_fraction_at_any_rate() {
+        let map = WaferMap::blank(20, 20);
+        for rate in [0.01f32, 0.1, 0.5, 1.0] {
+            let mut rng = StdRng::seed_from_u64(7);
+            let noisy = salt_and_pepper(&map, rate, &mut rng);
+            let expected = (map.on_wafer_count() as f32 * rate).round() as usize;
+            assert_eq!(noisy.fail_count(), expected, "rate {rate}");
+        }
     }
 
     #[test]
@@ -328,6 +361,52 @@ mod tests {
             assert_eq!(f.on_wafer_count(), map.on_wafer_count());
             assert_eq!(f.fail_count(), map.fail_count());
         }
+    }
+
+    #[test]
+    fn flips_preserve_irregular_non_circular_mask() {
+        // Mirror of `rotate_preserves_irregular_non_circular_mask`: a
+        // square wafer with a 3x3 corner notch. A naive cell-by-cell
+        // mirror would relocate the notch's OffWafer dies to the
+        // opposite corner; the fixed flips keep the footprint exact.
+        let w = 9;
+        let mut dies = vec![Die::Pass; w * w];
+        for y in 0..3 {
+            for x in 0..3 {
+                dies[y * w + x] = Die::OffWafer;
+            }
+        }
+        let mut map = WaferMap::from_dies(w, w, dies).expect("valid grid");
+        map.set(6, 1, Die::Fail); // mirrors across the notch row
+        map.set(1, 6, Die::Fail); // mirrors into intact territory
+        for (name, flipped) in
+            [("horizontal", flip_horizontal(&map)), ("vertical", flip_vertical(&map))]
+        {
+            assert_eq!(
+                flipped.on_wafer_count(),
+                map.on_wafer_count(),
+                "{name} flip changed the on-wafer count"
+            );
+            for y in 0..w {
+                for x in 0..w {
+                    assert_eq!(
+                        flipped.get(x, y).is_on_wafer(),
+                        map.get(x, y).is_on_wafer(),
+                        "{name} flip changed the mask at ({x}, {y})"
+                    );
+                }
+            }
+        }
+        // Defects still mirror where the destination is on-wafer:
+        // (6, 1) -> (2, 1) lands inside the notch's row but outside
+        // the notch columns? (2, 1) is inside the notch — masked out.
+        // (1, 6) -> (7, 6) is on-wafer and must carry the defect.
+        let hflip = flip_horizontal(&map);
+        assert_eq!(hflip.get(2, 1), Die::OffWafer, "notch die stays off-wafer");
+        assert_eq!(hflip.get(7, 6), Die::Fail);
+        // A die whose mirrored source is off-wafer becomes Pass, not
+        // OffWafer: (6, 1)'s horizontal source is (2, 1) in the notch.
+        assert_eq!(hflip.get(6, 1), Die::Pass);
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //! - [`serve`] — batched selective-inference serving: checkpoint
 //!   loading, threshold calibration, routing, and coverage-shift
 //!   alarms (the paper's Section IV-D deployment story).
+//! - [`telemetry`] — workspace-wide metrics (counters, gauges, bounded
+//!   histograms, timers) with JSON and Prometheus exposition; wired
+//!   through training, augmentation, the worker pool and serving.
 //!
 //! # Quickstart
 //!
@@ -42,6 +45,7 @@ pub use eval;
 pub use nn;
 pub use selective;
 pub use serve;
+pub use telemetry;
 pub use wafermap;
 
 /// Convenient re-exports of the most commonly used types.
@@ -53,6 +57,7 @@ pub mod prelude {
         CheckpointBundle, SelectiveConfig, SelectiveModel, TrainConfig, TrainReport, Trainer,
     };
     pub use serve::{Engine, Route, ServeConfig, WaferDecision};
+    pub use telemetry::Registry;
     pub use wafermap::{
         gen::{GenConfig, SyntheticWm811k},
         Dataset, DefectClass, Die, Sample, WaferMap,
