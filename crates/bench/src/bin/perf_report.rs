@@ -3,11 +3,21 @@
 //! Measures the legacy implementation (naive GEMM loops, spawn-per-call
 //! threading, serial batch loops — preserved behind
 //! [`nn::pool::ComputeMode::Legacy`]) against the default blocked-GEMM
-//! + worker-pool path, in one process, on three workloads:
+//! + worker-pool path, in one process, on four workloads:
 //!
 //! 1. a GEMM sweep over the Table I layer shapes on a 32×32 grid,
-//! 2. one training epoch of the paper's selective CNN,
-//! 3. one `augment_class` call (Algorithm 1 for a single class).
+//! 2. the same sweep comparing the AVX2 micro-kernels against the
+//!    forced-scalar blocked path (`simd_*` entries — SIMD contribution
+//!    in isolation, both sides on the blocked/pooled core),
+//! 3. one training epoch of the paper's selective CNN,
+//! 4. one `augment_class` call (Algorithm 1 for a single class).
+//!
+//! Honest-baseline note: the workspace builds with `target-cpu=native`,
+//! so the "scalar" side of the `simd_*` rows is already compiler
+//! auto-vectorized FMA code. The explicit micro-kernels still win by
+//! keeping the full register tile live across the k-loop, but the
+//! ratios are measured against that strong baseline, not textbook
+//! scalar loops.
 //!
 //! Writes `BENCH_compute.json` into the current directory (run from the
 //! repository root) and prints the same numbers as a table.
@@ -16,6 +26,7 @@ use std::time::Instant;
 
 use augment::{AugmentConfig, Augmenter};
 use nn::pool::{self, ComputeMode};
+use nn::simd;
 use selective::{SelectiveConfig, SelectiveModel, TrainConfig, Trainer};
 use serde::Serialize;
 use telemetry::Registry;
@@ -83,22 +94,70 @@ fn compare(entries: &mut Vec<Entry>, name: &str, reps: u32, samples: u32, mut f:
     entries.push(Entry { name: name.to_string(), baseline_ms, optimized_ms, speedup });
 }
 
+/// Time `f` with the SIMD micro-kernels forced off and on, both on the
+/// blocked/pooled core, and record the comparison. Same interleaved
+/// best-of-samples protocol as [`compare`]; the dispatch toggle is
+/// restored to runtime detection afterwards.
+fn compare_simd(
+    entries: &mut Vec<Entry>,
+    name: &str,
+    reps: u32,
+    samples: u32,
+    mut f: impl FnMut(),
+) {
+    let mut baseline_ms = f64::INFINITY;
+    let mut optimized_ms = f64::INFINITY;
+    pool::set_compute_mode(ComputeMode::Pooled);
+    f(); // warm-up
+    for _ in 0..samples.max(1) {
+        simd::set_force_scalar(true);
+        baseline_ms = baseline_ms.min(sample_ms(&mut f, reps));
+        simd::set_force_scalar(false);
+        optimized_ms = optimized_ms.min(sample_ms(&mut f, reps));
+    }
+    simd::set_force_scalar(false);
+    let speedup = baseline_ms / optimized_ms;
+    println!("  {name:<28} {baseline_ms:>10.3} ms {optimized_ms:>10.3} ms   {speedup:>5.2}x");
+    entries.push(Entry { name: name.to_string(), baseline_ms, optimized_ms, speedup });
+}
+
+/// The Table I layer shapes driven through all three GEMM kernels.
+type Kernel = fn(usize, usize, usize, &[f32], &[f32], &mut [f32]);
+const GEMM_CASES: &[(&str, Kernel, usize, usize, usize)] = &[
+    ("gemm_nn_conv1_64x25x1024", nn::gemm::sgemm, 64, 25, 1024),
+    ("gemm_nn_conv2_32x576x256", nn::gemm::sgemm, 32, 576, 256),
+    ("gemm_nn_conv3_32x288x64", nn::gemm::sgemm, 32, 288, 64),
+    ("gemm_nt_fc_32x512x256", nn::gemm::sgemm_nt, 32, 512, 256),
+    ("gemm_nt_dw_32x256x576", nn::gemm::sgemm_nt, 32, 256, 576),
+    ("gemm_tn_dcol1_25x64x1024", nn::gemm::sgemm_tn, 25, 64, 1024),
+    ("gemm_tn_dcol2_576x32x256", nn::gemm::sgemm_tn, 576, 32, 256),
+];
+
+/// SIMD micro-kernels vs the forced-scalar blocked path, same shapes.
+fn simd_sweep(entries: &mut Vec<Entry>) {
+    println!("SIMD sweep (AVX2 micro-kernels vs forced-scalar blocked path)");
+    if !simd::active() {
+        println!("  (SIMD unavailable on this host — skipping)");
+        return;
+    }
+    for &(name, kernel, m, k, n) in GEMM_CASES {
+        let a = rand_vec(m * k + k * m, 1);
+        let b = rand_vec(k * n + n * k, 2);
+        let mut c = vec![0.0f32; m * n];
+        let reps = (200_000_000 / (2 * m * k * n)).clamp(3, 2000) as u32;
+        compare_simd(entries, &format!("simd_{name}"), reps, 8, || {
+            c.iter_mut().for_each(|v| *v = 0.0);
+            kernel(m, k, n, std::hint::black_box(&a), std::hint::black_box(&b), &mut c);
+        });
+    }
+}
+
 /// GEMM sweep at the Table I layer shapes (32×32 input grid, batch 32).
 fn gemm_sweep(entries: &mut Vec<Entry>) {
     println!("GEMM sweep (paper layer shapes)");
     // (kernel, m, k, n): conv forwards, the fc forward, a conv
     // weight-gradient (nt) and a conv input-gradient (tn).
-    type Kernel = fn(usize, usize, usize, &[f32], &[f32], &mut [f32]);
-    let cases: &[(&str, Kernel, usize, usize, usize)] = &[
-        ("gemm_nn_conv1_64x25x1024", nn::gemm::sgemm, 64, 25, 1024),
-        ("gemm_nn_conv2_32x576x256", nn::gemm::sgemm, 32, 576, 256),
-        ("gemm_nn_conv3_32x288x64", nn::gemm::sgemm, 32, 288, 64),
-        ("gemm_nt_fc_32x512x256", nn::gemm::sgemm_nt, 32, 512, 256),
-        ("gemm_nt_dw_32x256x576", nn::gemm::sgemm_nt, 32, 256, 576),
-        ("gemm_tn_dcol1_25x64x1024", nn::gemm::sgemm_tn, 25, 64, 1024),
-        ("gemm_tn_dcol2_576x32x256", nn::gemm::sgemm_tn, 576, 32, 256),
-    ];
-    for &(name, kernel, m, k, n) in cases {
+    for &(name, kernel, m, k, n) in GEMM_CASES {
         // Operand lengths are generous (max of the layout variants) so
         // one buffer pair serves all three kernels.
         let a = rand_vec(m * k + k * m, 1);
@@ -155,16 +214,21 @@ fn main() {
     let registry = Registry::new();
     println!(
         "perf_report: legacy (pre-optimization) vs pooled (blocked GEMM + worker pool), \
-         {} pool thread(s)\n",
-        pool::num_threads()
+         {} pool thread(s), simd {}\n",
+        pool::num_threads(),
+        if simd::active() { "avx2+fma" } else { "off" }
     );
-    println!("  {:<28} {:>13} {:>13} {:>8}", "workload", "legacy", "pooled", "speedup");
+    println!("  {:<28} {:>13} {:>13} {:>8}", "workload", "baseline", "optimized", "speedup");
     gemm_sweep(&mut entries);
+    simd_sweep(&mut entries);
     train_epoch(&mut entries, &registry);
     augment_one_class(&mut entries, &registry);
 
     let report = Report {
-        description: "legacy vs pooled compute core; times are best-of-samples wall-clock ms"
+        description: "legacy vs pooled compute core (plus simd_* rows: AVX2 micro-kernels vs \
+                      forced-scalar blocked path, both pooled); times are best-of-samples \
+                      wall-clock ms; baseline builds with target-cpu=native, so the scalar \
+                      side is already compiler-vectorized"
             .to_string(),
         pool_threads: pool::num_threads(),
         entries,

@@ -5,6 +5,14 @@
 //! Exits non-zero (with a message on stderr) if any registry comes
 //! back empty, the JSON snapshot fails to round-trip, or a Prometheus
 //! rendering fails [`telemetry::parse_exposition`].
+//!
+//! Also asserts the zero-allocation instrumentation is live: the
+//! process-global registry must carry the workspace scratch counters
+//! (`hotpath_scratch_grows_total` > 0 after a training run — buffers
+//! grew during warm-up — and a non-zero `hotpath_scratch_bytes`
+//! high-water gauge), and the serve registry must expose the per-wafer
+//! `serve_wafer_compute_seconds` histogram with one observation per
+//! wafer.
 
 use std::process::ExitCode;
 
@@ -38,6 +46,47 @@ fn check(what: &str, registry: &Registry) -> Result<usize, String> {
         exposition.samples
     );
     Ok(exposition.samples)
+}
+
+/// The process-global registry must show the workspace scratch
+/// instrumentation: growth events happened (warm-up sized the hot-path
+/// buffers) and the high-water gauge tracks live bytes.
+fn check_workspace_metrics(snapshot: &Snapshot) -> Result<(), String> {
+    let grows = snapshot
+        .counters
+        .iter()
+        .find(|c| c.name == "hotpath_scratch_grows_total")
+        .ok_or("pool: hotpath_scratch_grows_total missing from the global registry")?;
+    if grows.value == 0 {
+        return Err("pool: hotpath_scratch_grows_total is 0 after a training run".to_string());
+    }
+    let bytes = snapshot
+        .gauges
+        .iter()
+        .find(|g| g.name == "hotpath_scratch_bytes")
+        .ok_or("pool: hotpath_scratch_bytes missing from the global registry")?;
+    if bytes.value <= 0.0 {
+        return Err("pool: hotpath_scratch_bytes gauge is 0 after a training run".to_string());
+    }
+    println!("  workspace   {} grow(s), {:.0} scratch bytes  ok", grows.value, bytes.value);
+    Ok(())
+}
+
+/// The serve registry must carry the per-wafer compute histogram, one
+/// observation per submitted wafer.
+fn check_serve_compute_metric(snapshot: &Snapshot, wafers: u64) -> Result<(), String> {
+    let hist = snapshot
+        .histograms
+        .iter()
+        .find(|h| h.name == "serve_wafer_compute_seconds")
+        .ok_or("serve: serve_wafer_compute_seconds missing from the engine registry")?;
+    if hist.summary.count != wafers {
+        return Err(format!(
+            "serve: serve_wafer_compute_seconds has {} observations, expected {} (one per wafer)",
+            hist.summary.count, wafers
+        ));
+    }
+    Ok(())
 }
 
 fn run() -> Result<(), String> {
@@ -89,6 +138,8 @@ fn run() -> Result<(), String> {
     check("augment", &augment_registry)?;
     check("serve", engine.telemetry())?;
     check("pool", &telemetry::global())?;
+    check_serve_compute_metric(&engine.telemetry().snapshot(), workload.len() as u64)?;
+    check_workspace_metrics(&telemetry::global().snapshot())?;
     Ok(())
 }
 

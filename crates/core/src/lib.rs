@@ -53,7 +53,7 @@ pub mod sweep;
 
 pub use bundle::{BundleError, CheckpointBundle, TrainProgress, BUNDLE_FORMAT_VERSION};
 pub use config::SelectiveConfig;
-pub use loss::{SelectiveLoss, SelectiveLossValue};
+pub use loss::{SelectiveLoss, SelectiveLossValue, SelectiveScratch};
 pub use model::SelectiveModel;
 pub use monitor::{CoverageAlarm, CoverageMonitor};
 pub use predict::{calibrate_threshold, SelectivePrediction};

@@ -1,8 +1,21 @@
 //! The selective training objective — the paper's eqs. (6)–(9).
 
-use nn::loss::{cross_entropy_grad_rows, cross_entropy_per_sample, softmax};
+use nn::loss::{cross_entropy_grad_rows_into, cross_entropy_per_sample_into, softmax_into};
 use nn::Tensor;
 use serde::{Deserialize, Serialize};
+
+/// Reusable buffers for [`SelectiveLoss::compute_scratch`].
+///
+/// One instance lives next to each training loop; every buffer grows
+/// to the largest batch seen and is then refilled in place, so
+/// steady-state training performs no loss-side allocation.
+#[derive(Debug, Default)]
+pub struct SelectiveScratch {
+    probs: Tensor,
+    ce: Vec<f32>,
+    grad_logits: Tensor,
+    grad_g: Vec<f32>,
+}
 
 /// Hyper-parameters of the selective objective.
 ///
@@ -105,6 +118,28 @@ impl SelectiveLoss {
         labels: &[usize],
         weights: &[f32],
     ) -> (SelectiveLossValue, Tensor, Vec<f32>) {
+        let mut scratch = SelectiveScratch::default();
+        let (value, _, _) = self.compute_scratch(logits, g, labels, weights, &mut scratch);
+        (value, scratch.grad_logits, scratch.grad_g)
+    }
+
+    /// [`SelectiveLoss::compute`] through reusable scratch buffers:
+    /// bit-identical numbers, but the gradients are left in (and
+    /// borrowed from) `scratch` instead of freshly allocated. The
+    /// returned gradient references are mutable so callers can scale
+    /// them in place (the trainer's α-mixing).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches or an empty batch.
+    pub fn compute_scratch<'s>(
+        &self,
+        logits: &Tensor,
+        g: &[f32],
+        labels: &[usize],
+        weights: &[f32],
+        scratch: &'s mut SelectiveScratch,
+    ) -> (SelectiveLossValue, &'s mut Tensor, &'s mut Vec<f32>) {
         let n = logits.shape()[0];
         let c = logits.shape()[1];
         assert!(n > 0, "empty batch");
@@ -112,8 +147,9 @@ impl SelectiveLoss {
         assert_eq!(labels.len(), n, "labels length mismatch");
         assert_eq!(weights.len(), n, "weights length mismatch");
 
-        let probs = softmax(logits);
-        let ce = cross_entropy_per_sample(&probs, labels);
+        softmax_into(logits, &mut scratch.probs);
+        cross_entropy_per_sample_into(&scratch.probs, labels, &mut scratch.ce);
+        let (probs, ce) = (&scratch.probs, &scratch.ce);
 
         // Eq. (6): empirical coverage (unweighted mean of g).
         let g_sum: f32 = g.iter().sum();
@@ -142,8 +178,8 @@ impl SelectiveLoss {
         // Gradient w.r.t. logits: per-sample coefficient times
         // (p − onehot). d selective_risk/d ce_i = w_i·g_i / Σg;
         // d plain/d ce_i = w_i / Σw.
-        let mut grad_logits = cross_entropy_grad_rows(&probs, labels);
-        for (i, row) in grad_logits.data_mut().chunks_exact_mut(c).enumerate() {
+        cross_entropy_grad_rows_into(probs, labels, &mut scratch.grad_logits);
+        for (i, row) in scratch.grad_logits.data_mut().chunks_exact_mut(c).enumerate() {
             let coef = self.alpha * weights[i] * g[i] / g_sum_safe
                 + (1.0 - self.alpha) * weights[i] / w_sum;
             row.iter_mut().for_each(|v| *v *= coef);
@@ -153,18 +189,15 @@ impl SelectiveLoss {
         //   d r/d g_i     = (w_i·ce_i − r) / Σg          (quotient rule)
         //   d Ψ/d g_i     = −2·max(0, c0 − c) / N
         let dpen_dg = -2.0 * shortfall / n as f32;
-        let grad_g: Vec<f32> = ce
-            .iter()
-            .zip(weights)
-            .map(|(&l, &wi)| {
-                self.alpha * ((wi * l - selective_risk) / g_sum_safe + self.lambda * dpen_dg)
-            })
-            .collect();
+        scratch.grad_g.clear();
+        scratch.grad_g.extend(scratch.ce.iter().zip(weights).map(|(&l, &wi)| {
+            self.alpha * ((wi * l - selective_risk) / g_sum_safe + self.lambda * dpen_dg)
+        }));
 
         (
             SelectiveLossValue { total, selective_risk, coverage, penalty, plain_risk },
-            grad_logits,
-            grad_g,
+            &mut scratch.grad_logits,
+            &mut scratch.grad_g,
         )
     }
 }

@@ -9,6 +9,23 @@ use crate::{SelectiveConfig, SelectivePrediction};
 use eval::{SelectiveMetrics, SelectiveOutcome};
 use wafermap::Dataset;
 
+std::thread_local! {
+    /// Per-worker staging tensor for the inference path: grown once
+    /// per thread to the largest block it has staged, then refilled in
+    /// place for every block (the workspace memory model — see
+    /// `nn::workspace`).
+    static SAMPLE_STAGE: std::cell::RefCell<Tensor> = std::cell::RefCell::new(Tensor::default());
+}
+
+/// Wafers per inference block: each worker runs one batched forward
+/// over a block this size (ragged tail allowed). 4 amortizes GEMM
+/// packing and per-call overhead while keeping a block's activation
+/// working set small enough (~100 KB at grid 32) that concurrent
+/// blocks don't thrash a shared cache — larger blocks measured slower
+/// on narrow hosts for exactly that reason. Block boundaries never
+/// change results — only where the batch dimension is cut.
+const INFER_BLOCK: usize = 4;
+
 /// The paper's two-head selective CNN (Fig. 2).
 ///
 /// A shared trunk (Table I) produces a feature vector; the prediction
@@ -199,17 +216,41 @@ impl SelectiveModel {
     ///
     /// Bit-identical to [`SelectiveModel::predict`] but runs through
     /// `&self` on the no-grad [`Layer::infer`] path: no activation
-    /// caches are written and samples are processed **sample-major**
-    /// (each wafer flows through the whole network before the next
-    /// starts), which keeps per-sample working sets cache-resident and
-    /// fans the batch across the worker pool with results independent
-    /// of the pool size.
+    /// caches are written and samples are processed **block-major** —
+    /// the batch splits into fixed [`INFER_BLOCK`]-wafer blocks, each
+    /// block runs the whole network as one batched forward on its
+    /// worker. Blocked forwards amortize GEMM packing and per-call
+    /// overhead (one `m = 4` fc GEMM instead of four `m = 1` ones), so
+    /// micro-batching pays even on a single core, while the per-block
+    /// fan-out still scales across the pool.
+    /// Results are independent of block boundaries and pool size: the
+    /// kernels accumulate every output element in a fixed contraction
+    /// order regardless of the batch dimension.
     ///
     /// # Panics
     ///
     /// Panics if the input shape does not match the configuration.
     #[must_use]
     pub fn infer_predict(&self, images: &Tensor, threshold: f32) -> Vec<SelectivePrediction> {
+        self.infer_predict_timed(images, threshold).0
+    }
+
+    /// [`SelectiveModel::infer_predict`] plus per-wafer **compute**
+    /// seconds: entry `i` of the second vector is the amortized model
+    /// cost of sample `i` — its compute block's wall clock divided by
+    /// the block size — excluding any wait for pool scheduling or for
+    /// the rest of the micro-batch. The serving layer reports these
+    /// alongside full queue+compute completion latencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape does not match the configuration.
+    #[must_use]
+    pub fn infer_predict_timed(
+        &self,
+        images: &Tensor,
+        threshold: f32,
+    ) -> (Vec<SelectivePrediction>, Vec<f64>) {
         let shape = images.shape();
         assert_eq!(
             shape,
@@ -219,24 +260,43 @@ impl SelectiveModel {
         );
         let n = shape[0];
         let pixels = self.config.grid * self.config.grid;
+        let c = self.config.n_classes;
         let data = images.data();
-        nn::pool::parallel_map(n, |i| {
-            let sample = Tensor::from_vec(
-                data[i * pixels..(i + 1) * pixels].to_vec(),
-                &[1, 1, self.config.grid, self.config.grid],
-            );
-            let features = self.trunk.infer(&sample);
-            let logits = self.head_f.infer(&features);
-            let score = self.head_g.infer(&features).data()[0];
-            let probs = nn::loss::softmax(&logits);
-            let row = probs.data();
-            SelectivePrediction {
-                label: nn::loss::argmax(row),
-                confidence: row.iter().fold(0.0f32, |m, &v| m.max(v)),
-                selection_score: score,
-                selected: score >= threshold,
-            }
-        })
+        let blocks = nn::pool::parallel_map(n.div_ceil(INFER_BLOCK), |b| {
+            let lo = b * INFER_BLOCK;
+            let hi = ((b + 1) * INFER_BLOCK).min(n);
+            let start = std::time::Instant::now();
+            let preds = SAMPLE_STAGE.with(|cell| {
+                let mut block = cell.borrow_mut();
+                block.resize(&[hi - lo, 1, self.config.grid, self.config.grid]);
+                block.data_mut().copy_from_slice(&data[lo * pixels..hi * pixels]);
+                let features = self.trunk.infer(&block);
+                let logits = self.head_f.infer(&features);
+                let scores = self.head_g.infer(&features);
+                let probs = nn::loss::softmax(&logits);
+                (0..hi - lo)
+                    .map(|j| {
+                        let row = &probs.data()[j * c..(j + 1) * c];
+                        let score = scores.data()[j];
+                        SelectivePrediction {
+                            label: nn::loss::argmax(row),
+                            confidence: row.iter().fold(0.0f32, |m, &v| m.max(v)),
+                            selection_score: score,
+                            selected: score >= threshold,
+                        }
+                    })
+                    .collect::<Vec<_>>()
+            });
+            let per_wafer_secs = start.elapsed().as_secs_f64() / (hi - lo) as f64;
+            (preds, per_wafer_secs)
+        });
+        let mut preds = Vec::with_capacity(n);
+        let mut secs = Vec::with_capacity(n);
+        for (block_preds, per_wafer) in blocks {
+            secs.resize(secs.len() + block_preds.len(), per_wafer);
+            preds.extend(block_preds);
+        }
+        (preds, secs)
     }
 
     /// Selection scores `g(x)` for every sample of a dataset via the
@@ -252,12 +312,13 @@ impl SelectiveModel {
         assert_eq!(dataset.grid(), self.config.grid, "dataset grid mismatch");
         let samples = dataset.samples();
         nn::pool::parallel_map(samples.len(), |i| {
-            let image = Tensor::from_vec(
-                samples[i].map.to_image(),
-                &[1, 1, self.config.grid, self.config.grid],
-            );
-            let features = self.trunk.infer(&image);
-            self.head_g.infer(&features).data()[0]
+            SAMPLE_STAGE.with(|cell| {
+                let mut image = cell.borrow_mut();
+                image.resize(&[1, 1, self.config.grid, self.config.grid]);
+                samples[i].map.write_image_into(image.data_mut());
+                let features = self.trunk.infer(&image);
+                self.head_g.infer(&features).data()[0]
+            })
         })
     }
 

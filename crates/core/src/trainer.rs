@@ -1,6 +1,6 @@
 use std::time::Instant;
 
-use nn::loss::{accuracy, softmax_cross_entropy};
+use nn::loss::{accuracy, softmax_cross_entropy_scratch, CeScratch};
 use nn::optim::Adam;
 use nn::Tensor;
 use rand::rngs::StdRng;
@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 use telemetry::Registry;
 
 use crate::bundle::{BundleError, CheckpointBundle, TrainProgress};
-use crate::{SelectiveLoss, SelectiveModel};
+use crate::{SelectiveLoss, SelectiveModel, SelectiveScratch};
 use wafermap::Dataset;
 
 /// Training hyper-parameters.
@@ -321,6 +321,19 @@ impl Trainer {
         let mut epochs = Vec::with_capacity(end.saturating_sub(start));
         let metrics = self.telemetry.as_ref().map(TrainMetrics::new);
 
+        // Batch staging and loss scratch reused across batches and
+        // epochs (the workspace memory model — see `nn::workspace`):
+        // each buffer grows once to the full batch size, then is
+        // refilled in place, so steady-state training allocates
+        // nothing on the loss side of the step.
+        let mut images = Tensor::default();
+        let mut labels: Vec<usize> = Vec::new();
+        let mut weights: Vec<f32> = Vec::new();
+        let zero_g = vec![0.0f32; self.config.batch_size];
+        let mut sel_scratch = SelectiveScratch::default();
+        let mut aux_scratch = CeScratch::default();
+        let mut ce_scratch = CeScratch::default();
+
         for epoch in start..end {
             let epoch_start = Instant::now();
             order.shuffle(rng);
@@ -333,23 +346,27 @@ impl Trainer {
             let mut seen = 0usize;
             for batch in order.chunks(self.config.batch_size) {
                 let batch_start = Instant::now();
-                let mut data = Vec::with_capacity(batch.len() * pixels);
-                let mut labels = Vec::with_capacity(batch.len());
-                let mut weights = Vec::with_capacity(batch.len());
-                for &i in batch {
-                    data.extend(samples[i].map.to_image());
+                images.resize(&[batch.len(), 1, grid, grid]);
+                labels.clear();
+                weights.clear();
+                for (slot, &i) in images.data_mut().chunks_exact_mut(pixels).zip(batch) {
+                    samples[i].map.write_image_into(slot);
                     labels.push(samples[i].label.index());
                     weights.push(samples[i].weight);
                 }
-                let images = Tensor::from_vec(data, &[batch.len(), 1, grid, grid]);
                 let (logits, g, aux) = model.forward_full(&images);
                 // Each branch reports (objective, coverage, selective
                 // risk, coverage penalty, plain CE) so the loss
                 // decomposition can be surfaced without recomputation.
                 let (loss, coverage, risk, penalty, plain_ce) = if plain {
-                    let (l, grad) = softmax_cross_entropy(&logits, &labels, Some(&weights));
+                    let (l, grad) = softmax_cross_entropy_scratch(
+                        &logits,
+                        &labels,
+                        Some(&weights),
+                        &mut ce_scratch,
+                    );
                     model.zero_grad();
-                    model.backward(&grad, &vec![0.0f32; batch.len()]);
+                    model.backward(grad, &zero_g[..batch.len()]);
                     (l, 1.0, l, 0.0, l)
                 } else if let Some(aux_logits) = &aux {
                     // SelectiveNet-style: pure selective objective on
@@ -359,15 +376,19 @@ impl Trainer {
                     let pure = SelectiveLoss::new(self.config.target_coverage)
                         .with_lambda(self.config.lambda)
                         .with_alpha(1.0);
-                    let (value, mut grad_logits, mut grad_g) =
-                        pure.compute(&logits, &g, &labels, &weights);
+                    let (value, grad_logits, grad_g) =
+                        pure.compute_scratch(&logits, &g, &labels, &weights, &mut sel_scratch);
                     grad_logits.scale(alpha);
                     grad_g.iter_mut().for_each(|v| *v *= alpha);
-                    let (ce, mut grad_aux) =
-                        softmax_cross_entropy(aux_logits, &labels, Some(&weights));
+                    let (ce, grad_aux) = softmax_cross_entropy_scratch(
+                        aux_logits,
+                        &labels,
+                        Some(&weights),
+                        &mut aux_scratch,
+                    );
                     grad_aux.scale(1.0 - alpha);
                     model.zero_grad();
-                    model.backward_full(&grad_logits, &grad_g, Some(&grad_aux));
+                    model.backward_full(grad_logits, grad_g, Some(grad_aux));
                     (
                         alpha * value.total + (1.0 - alpha) * ce,
                         value.coverage,
@@ -377,9 +398,9 @@ impl Trainer {
                     )
                 } else {
                     let (value, grad_logits, grad_g) =
-                        selective.compute(&logits, &g, &labels, &weights);
+                        selective.compute_scratch(&logits, &g, &labels, &weights, &mut sel_scratch);
                     model.zero_grad();
-                    model.backward(&grad_logits, &grad_g);
+                    model.backward(grad_logits, grad_g);
                     (
                         value.total,
                         value.coverage,

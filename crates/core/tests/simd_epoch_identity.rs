@@ -1,0 +1,80 @@
+//! End-to-end bit-identity of the SIMD GEMM micro-kernels: a full
+//! training run (forward, backward, Adam) must produce bit-identical
+//! epoch statistics and final weights with SIMD on or forced off, at
+//! any worker-pool width.
+//!
+//! The kernels vectorize across output columns only — each output
+//! element's k-accumulation order is unchanged, and `_mm256_fmadd_ps`
+//! is lane-wise the same operation as `f32::mul_add` — so this holds
+//! exactly, not approximately (`nn/tests/simd_parity.rs` proves it
+//! per-kernel; this test proves the composition).
+//!
+//! Single test in its own file: SIMD dispatch and the pool width are
+//! process-global, so concurrent tests would race the toggles.
+
+use nn::{pool, simd, Tensor};
+use selective::{SelectiveConfig, SelectiveModel, TrainConfig, Trainer};
+use wafermap::gen::{generate, GenConfig, Sample};
+use wafermap::{Dataset, DefectClass};
+
+fn dataset(per_class: usize, seed: u64) -> Dataset {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let cfg = GenConfig::new(16);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ds = Dataset::new(16);
+    for _ in 0..per_class {
+        for class in [DefectClass::Center, DefectClass::Donut, DefectClass::None] {
+            ds.push(Sample::original(generate(class, &cfg, &mut rng), class));
+        }
+    }
+    ds
+}
+
+/// Train a fresh model under the given dispatch/pool setting and
+/// return (per-epoch stats, probe logits, probe selection scores).
+fn train_fingerprint(
+    force_scalar: bool,
+    threads: usize,
+    train: &Dataset,
+) -> (selective::TrainReport, Vec<f32>, Vec<f32>) {
+    simd::set_force_scalar(force_scalar);
+    pool::set_thread_limit(threads);
+    let config = SelectiveConfig::for_grid(16).with_conv_channels([4, 4, 4]).with_fc(16);
+    let mut model = SelectiveModel::new(&config, 11);
+    let report = Trainer::new(TrainConfig {
+        epochs: 2,
+        batch_size: 8,
+        learning_rate: 1e-3,
+        target_coverage: 0.5,
+        ..TrainConfig::default()
+    })
+    .run(&mut model, train);
+    let probe = Tensor::full(&[3, 1, 16, 16], 0.5);
+    let (logits, g) = model.forward(&probe);
+    (report, logits.data().to_vec(), g)
+}
+
+#[test]
+fn training_is_bit_identical_across_simd_dispatch_and_pool_width() {
+    let train = dataset(8, 3);
+    let (ref_report, ref_logits, ref_g) = train_fingerprint(false, 1, &train);
+    for (force_scalar, threads) in [(true, 1), (false, 4), (true, 4)] {
+        let (report, logits, g) = train_fingerprint(force_scalar, threads, &train);
+        assert_eq!(
+            report, ref_report,
+            "epoch stats diverged at force_scalar={force_scalar}, threads={threads}"
+        );
+        assert_eq!(
+            logits, ref_logits,
+            "trained logits diverged at force_scalar={force_scalar}, threads={threads}"
+        );
+        assert_eq!(
+            g, ref_g,
+            "selection scores diverged at force_scalar={force_scalar}, threads={threads}"
+        );
+    }
+    // Leave the process defaults in place for any later code.
+    simd::set_force_scalar(false);
+    pool::set_thread_limit(1);
+}

@@ -39,6 +39,14 @@ pub struct ServingStats {
     n_classes: usize,
     batch_latencies: Window,
     batch_sizes: Window,
+    /// Per-wafer completion latency: the wall-clock of the micro-batch
+    /// a wafer rode in, recorded once **per wafer** so percentiles
+    /// weight wafers, not batches (a wafer in a 64-batch completes when
+    /// its batch completes).
+    wafer_latencies: Window,
+    /// Per-wafer compute-only seconds (time on a worker, excluding the
+    /// wait for pool scheduling and for the rest of the batch).
+    compute_latencies: Window,
     wafers: u64,
     predicted_per_class: Vec<u64>,
     abstained_per_class: Vec<u64>,
@@ -64,6 +72,8 @@ impl ServingStats {
             n_classes,
             batch_latencies: Window::new(window),
             batch_sizes: Window::new(window),
+            wafer_latencies: Window::new(window),
+            compute_latencies: Window::new(window),
             wafers: 0,
             predicted_per_class: vec![0; n_classes],
             abstained_per_class: vec![0; n_classes],
@@ -75,18 +85,59 @@ impl ServingStats {
     /// wafer. For abstained wafers the class index is the model's
     /// would-be prediction (what it would have said had it committed).
     ///
+    /// The batch latency is also recorded once *per wafer* as that
+    /// wafer's completion latency — a wafer riding in a micro-batch is
+    /// not done until the whole batch is — so the snapshot's latency
+    /// percentiles weight wafers, not batches.
+    ///
     /// # Panics
     ///
     /// Panics if any class index is out of range or the latency is
     /// negative / non-finite.
     pub fn record_batch(&mut self, latency_secs: f64, decisions: &[(usize, bool)]) {
+        self.record_batch_timed(latency_secs, decisions, &[]);
+    }
+
+    /// [`ServingStats::record_batch`] plus per-wafer **compute-only**
+    /// seconds (one entry per wafer, as produced by the model's timed
+    /// inference path). The two distributions bracket serving latency:
+    /// `compute_latency` is what the model costs per wafer,
+    /// `latency` adds the wait for the rest of the micro-batch.
+    ///
+    /// Pass an empty `compute_secs` when per-wafer timings are not
+    /// available (the compute window is simply not fed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any class index is out of range, the latency is
+    /// negative / non-finite, or `compute_secs` is non-empty with a
+    /// length different from `decisions`.
+    pub fn record_batch_timed(
+        &mut self,
+        latency_secs: f64,
+        decisions: &[(usize, bool)],
+        compute_secs: &[f64],
+    ) {
         assert!(
             latency_secs.is_finite() && latency_secs >= 0.0,
             "latency must be finite and non-negative"
         );
+        assert!(
+            compute_secs.is_empty() || compute_secs.len() == decisions.len(),
+            "compute_secs length {} does not match {} decisions",
+            compute_secs.len(),
+            decisions.len()
+        );
         self.batch_latencies.observe(latency_secs);
         self.batch_sizes.observe(decisions.len() as f64);
         self.wafers += decisions.len() as u64;
+        for _ in decisions {
+            self.wafer_latencies.observe(latency_secs);
+        }
+        for &c in compute_secs {
+            assert!(c.is_finite() && c >= 0.0, "compute seconds must be finite and non-negative");
+            self.compute_latencies.observe(c);
+        }
         for &(class, selected) in decisions {
             assert!(class < self.n_classes, "class index {class} out of range");
             if selected {
@@ -142,7 +193,9 @@ impl ServingStats {
             abstained,
             coverage: if wafers == 0 { 0.0 } else { predicted as f64 / wafers as f64 },
             throughput_wafers_per_sec: if busy > 0.0 { wafers as f64 / busy } else { 0.0 },
-            latency: LatencySummary::from_samples(self.batch_latencies.samples()),
+            latency: LatencySummary::from_samples(self.wafer_latencies.samples()),
+            batch_latency: LatencySummary::from_samples(self.batch_latencies.samples()),
+            compute_latency: LatencySummary::from_samples(self.compute_latencies.samples()),
             latency_window_len: self.window_len(),
             latency_window_capacity: self.window_capacity(),
             predicted_per_class: self.predicted_per_class.clone(),
@@ -211,10 +264,20 @@ pub struct ServingSnapshot {
     /// Wafers per second of model compute time (sum of batch
     /// latencies, excluding idle gaps between batches).
     pub throughput_wafers_per_sec: f64,
-    /// Per-batch latency distribution over the retained window of
-    /// recent batches.
+    /// Per-**wafer** completion (queue + compute) latency distribution
+    /// over the retained window: each wafer completes when its
+    /// micro-batch does, so the batch wall-clock is counted once per
+    /// wafer it carried.
     pub latency: LatencySummary,
-    /// Latency samples the distribution was computed from.
+    /// Per-**batch** wall-clock latency distribution (one sample per
+    /// micro-batch, regardless of its size).
+    pub batch_latency: LatencySummary,
+    /// Per-wafer **compute-only** latency distribution (time on a
+    /// worker, excluding pool-scheduling wait and the wait for the
+    /// rest of the micro-batch); all-zero unless fed through
+    /// [`ServingStats::record_batch_timed`].
+    pub compute_latency: LatencySummary,
+    /// Batch-latency samples the distribution was computed from.
     pub latency_window_len: usize,
     /// Maximum retained latency samples (the memory bound).
     pub latency_window_capacity: usize,
@@ -309,9 +372,46 @@ mod tests {
         // Throughput uses the exact busy-time sum, not the window:
         // 100 rounds of (1+..+10) ms = 5.5 s for 3000 wafers.
         assert!((snap.throughput_wafers_per_sec - 3000.0 / 5.5).abs() < 1e-6);
-        // The percentile summary describes only the retained window
-        // (the last 8 batches: latencies 3..=10 ms).
+        // The batch summary describes the retained window of batches
+        // (the last 8 batches: latencies 3..=10 ms)...
+        assert!((snap.batch_latency.max - 0.010).abs() < 1e-12);
+        assert!((snap.batch_latency.p50 - 0.006).abs() < 1e-12);
+        // ...while the wafer summary holds the last 8 *wafer*
+        // completions: 3 wafers at 10 ms, 3 at 9 ms, 2 at 8 ms.
         assert!((snap.latency.max - 0.010).abs() < 1e-12);
-        assert!((snap.latency.p50 - 0.006).abs() < 1e-12);
+        assert!((snap.latency.p50 - 0.009).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_wafer_latency_weights_wafers_not_batches() {
+        let mut stats = ServingStats::new(2);
+        // One 9-wafer batch at 10 ms and one single-wafer batch at
+        // 100 ms. Per batch the median is 55 ms; per wafer, 9 of the
+        // 10 wafers completed in 10 ms.
+        stats.record_batch(0.010, &[(0, true); 9]);
+        stats.record_batch(0.100, &[(1, false)]);
+        let snap = stats.snapshot();
+        assert!((snap.batch_latency.p50 - 0.010).abs() < 1e-12);
+        assert!((snap.latency.p50 - 0.010).abs() < 1e-12);
+        assert!((snap.latency.p99 - 0.100).abs() < 1e-12);
+        assert_eq!(snap.compute_latency.max, 0.0, "no compute timings were fed");
+    }
+
+    #[test]
+    fn compute_latency_tracks_per_wafer_timings() {
+        let mut stats = ServingStats::new(2);
+        stats.record_batch_timed(0.020, &[(0, true), (1, true)], &[0.004, 0.006]);
+        let snap = stats.snapshot();
+        assert!((snap.compute_latency.max - 0.006).abs() < 1e-12);
+        assert!((snap.compute_latency.mean - 0.005).abs() < 1e-12);
+        // Completion latency is the batch wall-clock for both wafers.
+        assert!((snap.latency.p50 - 0.020).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "compute_secs length")]
+    fn mismatched_compute_timings_rejected() {
+        let mut stats = ServingStats::new(2);
+        stats.record_batch_timed(0.01, &[(0, true), (1, true)], &[0.001]);
     }
 }

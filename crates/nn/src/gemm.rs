@@ -31,6 +31,7 @@
 use std::cell::RefCell;
 
 use crate::pool::{self, ComputeMode, Shards};
+use crate::{simd, workspace};
 
 thread_local! {
     /// Reusable `B`-panel packing buffer. A fresh `Vec` per call would
@@ -47,22 +48,26 @@ thread_local! {
 }
 
 /// Microkernel tile height (rows of `C` kept in registers).
-const MR: usize = 4;
+pub(crate) const MR: usize = 4;
 /// Microkernel tile width (columns of `C` kept in registers).
-const NR: usize = 16;
-/// Contraction-axis strip length per packed `A` panel.
-const KC: usize = 1024;
+pub(crate) const NR: usize = 16;
+/// Contraction-axis strip length per packed `A` panel. Sized so one
+/// `B` panel strip (`KC·NR` floats = 16 KiB) and one `A` panel
+/// (`KC·MR` floats = 4 KiB) fit L1 together: every row group of the
+/// block re-reads the same `B` strip, and with a 1024-deep strip those
+/// re-reads all came from L2.
+const KC: usize = 256;
 /// Rows of `C` per parallel chunk (one row block = one pool chunk).
-const MC: usize = 32;
+pub(crate) const MC: usize = 32;
 
 /// FLOP threshold (m·k·n) above which row blocks fan out to the pool.
 const PARALLEL_THRESHOLD: usize = 1 << 18;
 /// Contraction length at or below which the `MR`×`NR` tile grid is a
 /// bad fit (per-tile `C` traffic stops amortizing) and the row-sweep
 /// kernel in [`thin_k`] runs instead.
-const THIN_K: usize = 64;
+pub(crate) const THIN_K: usize = 64;
 /// Columns of `C` kept in registers per [`thin_k`] row sweep.
-const TW: usize = 32;
+pub(crate) const TW: usize = 32;
 /// FLOP threshold below which packing costs more than it saves and the
 /// (bit-identical) reference kernel is used directly.
 const SMALL_THRESHOLD: usize = 1 << 12;
@@ -120,14 +125,18 @@ pub fn sgemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32
         ComputeMode::Pooled if m * k * n < SMALL_THRESHOLD => {
             reference::sgemm_nt(m, k, n, a, b, c);
         }
-        ComputeMode::Pooled if m <= 2 => nt_narrow(m, k, n, a, b, c),
+        ComputeMode::Pooled if m <= 2 => {
+            if !simd::nt_narrow(m, k, n, a, b, c) {
+                nt_narrow(m, k, n, a, b, c);
+            }
+        }
         ComputeMode::Pooled => blocked(m, k, n, a, b, c, ALayout::RowMajor, BLayout::Transposed),
     }
 }
 
 /// Columns of `C` computed together per [`nt_narrow`] strip (that many
 /// independent accumulation chains hide the `mul_add` latency).
-const NTW: usize = 8;
+pub(crate) const NTW: usize = 8;
 
 /// Narrow-batch kernel for the `A[m,k] · B[n,k]ᵀ` form with `m <= 2`:
 /// inference-sized matrix-vector products where packing `B` (the
@@ -214,10 +223,7 @@ fn blocked(
     B_SCRATCH.with(|cell| {
         let mut b_buf = cell.borrow_mut();
         let b_need = n_panels * k * NR;
-        if b_buf.len() < b_need {
-            b_buf.resize(b_need, 0.0);
-        }
-        let b_packed = &mut b_buf[..b_need];
+        let b_packed = workspace::reserve_f32(&mut b_buf, b_need);
         pack_b(b_packed, b, b_layout, k, n);
 
         let row_blocks = m.div_ceil(MC);
@@ -232,10 +238,7 @@ fn blocked(
             let a_need = groups * KC.min(k) * MR;
             A_SCRATCH.with(|a_cell| {
                 let mut a_buf = a_cell.borrow_mut();
-                if a_buf.len() < a_need {
-                    a_buf.resize(a_need, 0.0);
-                }
-                let a_packed = &mut a_buf[..a_need];
+                let a_packed = workspace::reserve_f32(&mut a_buf, a_need);
                 for p0 in (0..k).step_by(KC) {
                     let kc = KC.min(k - p0);
                     pack_a(a_packed, a, a_layout, m, k, i0, mb, p0, kc);
@@ -289,14 +292,20 @@ fn thin_k(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32], a_l
         let c_block = shards.claim(blk);
         let i0 = blk * MC;
         let mb = (m - i0).min(MC);
+        let gather = |r: usize, dest: &mut [f32; THIN_K]| {
+            for (p, slot) in dest.iter_mut().enumerate().take(k) {
+                *slot = a_at(a, a_layout, m, k, i0 + r, p);
+            }
+        };
+        if simd::thin_block(k, n, mb, b, c_block, gather) {
+            return;
+        }
         let mut a_rows = [[0.0f32; THIN_K]; 2];
         let mut r = 0;
         while r < mb {
             let rows = (mb - r).min(2);
             for (rr, a_row) in a_rows.iter_mut().enumerate().take(rows) {
-                for (p, slot) in a_row.iter_mut().enumerate().take(k) {
-                    *slot = a_at(a, a_layout, m, k, i0 + r + rr, p);
-                }
+                gather(r + rr, a_row);
             }
             let c_rows = &mut c_block[r * n..(r + rows) * n];
             if rows == 2 {
@@ -382,6 +391,9 @@ fn a_at(a: &[f32], layout: ALayout, m: usize, k: usize, i: usize, p: usize) -> f
 /// `j >= nr`) accumulate zero-filled packing slots and are not stored.
 #[inline]
 fn microkernel(kc: usize, ap: &[f32], bp: &[f32], c: &mut [f32], ldc: usize, mr: usize, nr: usize) {
+    if simd::microkernel(kc, ap, bp, c, ldc, mr, nr) {
+        return;
+    }
     // Hoisted length proofs: the per-`p` slices below stay in bounds,
     // so the hot loop compiles without per-iteration checks.
     let ap = &ap[..kc * MR];
@@ -434,6 +446,9 @@ fn pack_b(bp: &mut [f32], b: &[f32], layout: BLayout, k: usize, n: usize) {
             }
         }
         BLayout::Transposed => {
+            if simd::pack_b_transposed(bp, b, k, n) {
+                return;
+            }
             for jp in 0..n_panels {
                 let j0 = jp * NR;
                 let w = NR.min(n - j0);

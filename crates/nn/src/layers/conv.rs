@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::gemm::{sgemm, sgemm_nt, sgemm_tn};
 use crate::pool::{self, Shards};
-use crate::{init, Layer, Param, Tensor};
+use crate::{init, workspace, Layer, Param, Tensor};
 
 /// 2-D convolution (stride 1) via im2col + GEMM.
 ///
@@ -36,6 +36,8 @@ pub struct Conv2d {
     bias: Param,
     #[serde(skip)]
     cache: Option<ConvCache>,
+    #[serde(skip)]
+    scratch: ConvScratch,
 }
 
 thread_local! {
@@ -44,6 +46,12 @@ thread_local! {
     /// performs no per-call allocation. `im2col` overwrites every
     /// element (padding included), so the buffer never needs zeroing.
     static COL_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    /// Reusable `dcol` buffer for [`Conv2d::backward`]'s per-sample
+    /// input-gradient GEMM. Per thread, like [`COL_SCRATCH`]: samples
+    /// fan out across pool workers, and each worker zero-fills the
+    /// buffer before the accumulate-GEMM (a memory touch, not an
+    /// allocation).
+    static DCOL_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
 }
 
 #[derive(Debug)]
@@ -51,7 +59,23 @@ struct ConvCache {
     input_shape: [usize; 4],
     out_hw: (usize, usize),
     /// im2col buffers, one `[C_in·k·k, H_out·W_out]` block per sample.
+    /// Owned by the cache between `forward` and `backward`; reclaimed
+    /// into [`ConvScratch::cols`] by the next `forward`, so steady-state
+    /// training re-uses one warm buffer instead of allocating per batch.
     cols: Vec<f32>,
+}
+
+/// Per-layer training workspace, grown once to the largest batch shape
+/// seen (see [`crate::workspace`]) and excluded from serialization.
+#[derive(Debug, Default)]
+struct ConvScratch {
+    /// Parked im2col buffer (moves into [`ConvCache::cols`] during the
+    /// forward→backward window).
+    cols: Vec<f32>,
+    /// Per-sample weight-gradient partials, `[N, C_out·C_in·k·k]`.
+    dw_partials: Vec<f32>,
+    /// Per-sample bias-gradient partials, `[N, C_out]`.
+    db_partials: Vec<f32>,
 }
 
 impl Conv2d {
@@ -73,7 +97,16 @@ impl Conv2d {
         let fan_in = in_channels * kernel * kernel;
         let weight = Param::new(init::he(&[out_channels, fan_in], fan_in, rng));
         let bias = Param::new(Tensor::zeros(&[out_channels]));
-        Conv2d { in_channels, out_channels, kernel, pad, weight, bias, cache: None }
+        Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            pad,
+            weight,
+            bias,
+            cache: None,
+            scratch: ConvScratch::default(),
+        }
     }
 
     /// Convolution with "same" padding (`pad = kernel / 2`), so odd
@@ -184,7 +217,15 @@ impl Layer for Conv2d {
         let (oh, ow) = self.output_hw(h, w);
         let col_rows = self.col_rows();
         let col_size = col_rows * oh * ow;
-        let mut cols = vec![0.0f32; n * col_size];
+        // Reclaim the warm im2col buffer (from the previous cache or
+        // the parked scratch) instead of allocating per batch; `im2col`
+        // overwrites every element, so no zeroing either.
+        let mut cols = self
+            .cache
+            .take()
+            .map(|prev| prev.cols)
+            .unwrap_or_else(|| std::mem::take(&mut self.scratch.cols));
+        workspace::reserve_f32(&mut cols, n * col_size);
         let mut out = Tensor::zeros(&[n, self.out_channels, oh, ow]);
         let out_plane = self.out_channels * oh * ow;
         if oh * ow > 0 {
@@ -192,7 +233,7 @@ impl Layer for Conv2d {
             // are disjoint per-sample shards, so the batch fans out
             // across the worker pool with no cross-sample state.
             let input_data = input.data();
-            let col_shards = Shards::new(&mut cols, col_size);
+            let col_shards = Shards::new(&mut cols[..n * col_size], col_size);
             let out_shards = Shards::new(out.data_mut(), out_plane);
             let this = &*self;
             pool::parallel_for(n, |i| {
@@ -227,9 +268,7 @@ impl Layer for Conv2d {
             let out_plane = self.out_channels * oh * ow;
             COL_SCRATCH.with(|cell| {
                 let mut col = cell.borrow_mut();
-                if col.len() < col_size {
-                    col.resize(col_size, 0.0);
-                }
+                workspace::reserve_f32(&mut col, col_size);
                 for i in 0..n {
                     let sample = &input_data[i * c * h * w..(i + 1) * c * h * w];
                     self.im2col(sample, h, w, &mut col[..col_size]);
@@ -269,14 +308,18 @@ impl Layer for Conv2d {
         let mut grad_input = Tensor::zeros(&[n, c, h, w]);
         // Per-sample weight/bias gradient partials, reduced serially in
         // sample order below so the result is independent of how the
-        // pool schedules samples across threads.
-        let mut dw_partials = vec![0.0f32; n * w_len];
-        let mut db_partials = vec![0.0f32; n * c_out];
+        // pool schedules samples across threads. The buffers persist in
+        // the layer scratch; zero-filling them (the GEMM accumulates)
+        // touches memory but allocates nothing after the first batch.
+        let mut dw_vec = std::mem::take(&mut self.scratch.dw_partials);
+        let mut db_vec = std::mem::take(&mut self.scratch.db_partials);
+        workspace::reserve_f32(&mut dw_vec, n * w_len).fill(0.0);
+        workspace::reserve_f32(&mut db_vec, n * c_out).fill(0.0);
         if oh * ow > 0 {
             let dout = grad_output.data();
             let cols = &cache.cols;
-            let dw_shards = Shards::new(&mut dw_partials, w_len);
-            let db_shards = Shards::new(&mut db_partials, c_out);
+            let dw_shards = Shards::new(&mut dw_vec[..n * w_len], w_len);
+            let db_shards = Shards::new(&mut db_vec[..n * c_out], c_out);
             let gi_shards = Shards::new(grad_input.data_mut(), c * h * w);
             let this = &*self;
             pool::parallel_for(n, |i| {
@@ -290,21 +333,27 @@ impl Layer for Conv2d {
                     db_i[co] = chunk.iter().sum::<f32>();
                 }
                 // dcol [CKK, OH·OW] = Wᵀ · dOut_i
-                let mut dcol = vec![0.0f32; col_size];
-                sgemm_tn(col_rows, c_out, oh * ow, this.weight.value.data(), dout_n, &mut dcol);
-                this.col2im(&dcol, h, w, gi_shards.claim(i));
+                DCOL_SCRATCH.with(|cell| {
+                    let mut buf = cell.borrow_mut();
+                    let dcol = workspace::reserve_f32(&mut buf, col_size);
+                    dcol.fill(0.0);
+                    sgemm_tn(col_rows, c_out, oh * ow, this.weight.value.data(), dout_n, dcol);
+                    this.col2im(dcol, h, w, gi_shards.claim(i));
+                });
             });
         }
         for i in 0..n {
-            let dw_i = &dw_partials[i * w_len..(i + 1) * w_len];
+            let dw_i = &dw_vec[i * w_len..(i + 1) * w_len];
             for (dst, &src) in self.weight.grad.data_mut().iter_mut().zip(dw_i) {
                 *dst += src;
             }
-            let db_i = &db_partials[i * c_out..(i + 1) * c_out];
+            let db_i = &db_vec[i * c_out..(i + 1) * c_out];
             for (dst, &src) in self.bias.grad.data_mut().iter_mut().zip(db_i) {
                 *dst += src;
             }
         }
+        self.scratch.dw_partials = dw_vec;
+        self.scratch.db_partials = db_vec;
         grad_input
     }
 

@@ -2,7 +2,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::pool::{self, Shards};
-use crate::{init, Layer, Param, Tensor};
+use crate::{init, workspace, Layer, Param, Tensor};
 
 /// Transposed ("de-") convolution.
 ///
@@ -37,12 +37,24 @@ pub struct ConvTranspose2d {
     bias: Param,
     #[serde(skip)]
     cache: Option<DeconvCache>,
+    #[serde(skip)]
+    scratch: DeconvScratch,
 }
 
 #[derive(Debug)]
 struct DeconvCache {
     input: Tensor,
     out_hw: (usize, usize),
+}
+
+/// Per-layer training workspace (see [`crate::workspace`]), excluded
+/// from serialization.
+#[derive(Debug, Default)]
+struct DeconvScratch {
+    /// Per-sample weight-gradient partials, `[N, C_in·C_out·k·k]`.
+    dw_partials: Vec<f32>,
+    /// Per-sample bias-gradient partials, `[N, C_out]`.
+    db_partials: Vec<f32>,
 }
 
 impl ConvTranspose2d {
@@ -67,7 +79,16 @@ impl ConvTranspose2d {
         let weight =
             Param::new(init::he(&[in_channels, out_channels, kernel, kernel], fan_in, rng));
         let bias = Param::new(Tensor::zeros(&[out_channels]));
-        ConvTranspose2d { in_channels, out_channels, kernel, stride, weight, bias, cache: None }
+        ConvTranspose2d {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            weight,
+            bias,
+            cache: None,
+            scratch: DeconvScratch::default(),
+        }
     }
 
     /// Output spatial size for an `h x w` input.
@@ -126,7 +147,16 @@ impl Layer for ConvTranspose2d {
                 }
             });
         }
-        self.cache = Some(DeconvCache { input: input.clone(), out_hw: (oh, ow) });
+        // Reuse the previous cache's (or parked) input tensor so
+        // steady-state training does not clone a fresh copy per batch.
+        let cached_input = match self.cache.take().map(|prev| prev.input) {
+            Some(mut t) => {
+                t.refill_from(input);
+                t
+            }
+            None => input.clone(),
+        };
+        self.cache = Some(DeconvCache { input: cached_input, out_hw: (oh, ow) });
         out
     }
 
@@ -153,11 +183,15 @@ impl Layer for ConvTranspose2d {
         // sample order below so the result is independent of how the
         // pool schedules samples across threads. The input gradient is
         // naturally per-sample (disjoint shards).
-        let mut dw_partials = vec![0.0f32; n * w_len];
-        let mut db_partials = vec![0.0f32; n * c_out];
+        let mut dw_vec = std::mem::take(&mut self.scratch.dw_partials);
+        let mut db_vec = std::mem::take(&mut self.scratch.db_partials);
+        // Both must be zeroed: the weight shard accumulates with `+=`
+        // and the reduction below reads every slot.
+        workspace::reserve_f32(&mut dw_vec, n * w_len).fill(0.0);
+        workspace::reserve_f32(&mut db_vec, n * c_out).fill(0.0);
         {
-            let dw_shards = Shards::new(&mut dw_partials, w_len);
-            let db_shards = Shards::new(&mut db_partials, c_out);
+            let dw_shards = Shards::new(&mut dw_vec[..n * w_len], w_len);
+            let db_shards = Shards::new(&mut db_vec[..n * c_out], c_out);
             let gi_shards = Shards::new(grad_input.data_mut(), c * h * w);
             let this = &*self;
             pool::parallel_for(n, |i| {
@@ -196,15 +230,17 @@ impl Layer for ConvTranspose2d {
             });
         }
         for i in 0..n {
-            let db_i = &db_partials[i * c_out..(i + 1) * c_out];
+            let db_i = &db_vec[i * c_out..(i + 1) * c_out];
             for (dst, &src) in self.bias.grad.data_mut().iter_mut().zip(db_i) {
                 *dst += src;
             }
-            let dw_i = &dw_partials[i * w_len..(i + 1) * w_len];
+            let dw_i = &dw_vec[i * w_len..(i + 1) * w_len];
             for (dst, &src) in self.weight.grad.data_mut().iter_mut().zip(dw_i) {
                 *dst += src;
             }
         }
+        self.scratch.dw_partials = dw_vec;
+        self.scratch.db_partials = db_vec;
         grad_input
     }
 

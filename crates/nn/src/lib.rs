@@ -37,9 +37,10 @@
 //! adam.step(&mut net);
 //! ```
 
-// `deny` rather than `forbid`: the worker pool is the one module
-// allowed to opt back in (lifetime-erased job pointers and disjoint
-// slice shards, each with documented invariants).
+// `deny` rather than `forbid`: two modules opt back in, each with
+// documented invariants — the worker pool (lifetime-erased job
+// pointers and disjoint slice shards) and the SIMD kernels
+// (raw-pointer vector loads/stores behind hoisted bounds proofs).
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -55,6 +56,8 @@ pub mod optim;
 pub mod pool;
 pub mod schedule;
 pub mod serialize;
+pub mod simd;
+pub mod workspace;
 
 pub use param::Param;
 pub use sequential::Sequential;

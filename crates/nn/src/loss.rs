@@ -9,6 +9,19 @@
 
 use crate::Tensor;
 
+/// Reusable buffers for the fused cross-entropy path.
+///
+/// One instance lives next to each training loop; every buffer grows
+/// to the largest batch seen and is then reused, so steady-state
+/// training performs no loss-side allocation (the crate-level
+/// workspace memory model — see [`crate::workspace`]).
+#[derive(Debug, Default)]
+pub struct CeScratch {
+    probs: Tensor,
+    grad: Tensor,
+    losses: Vec<f32>,
+}
+
 /// Row-wise softmax of a `[N, C]` logits tensor.
 ///
 /// # Panics
@@ -16,9 +29,21 @@ use crate::Tensor;
 /// Panics if `logits` is not 2-D.
 #[must_use]
 pub fn softmax(logits: &Tensor) -> Tensor {
+    let mut out = Tensor::default();
+    softmax_into(logits, &mut out);
+    out
+}
+
+/// [`softmax`] into a caller-provided tensor (resized in place,
+/// allocation-free once warmed).
+///
+/// # Panics
+///
+/// Panics if `logits` is not 2-D.
+pub fn softmax_into(logits: &Tensor, out: &mut Tensor) {
     assert_eq!(logits.shape().len(), 2, "softmax expects [N, C]");
     let c = logits.shape()[1];
-    let mut out = logits.clone();
+    out.refill_from(logits);
     for row in out.data_mut().chunks_exact_mut(c) {
         let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
         let mut sum = 0.0f32;
@@ -30,7 +55,6 @@ pub fn softmax(logits: &Tensor) -> Tensor {
             *v /= sum;
         }
     }
-    out
 }
 
 /// Per-sample cross-entropy `−log p[label]` from softmax probabilities.
@@ -42,16 +66,25 @@ pub fn softmax(logits: &Tensor) -> Tensor {
 /// Panics if shapes disagree or any label is out of range.
 #[must_use]
 pub fn cross_entropy_per_sample(probs: &Tensor, labels: &[usize]) -> Vec<f32> {
+    let mut out = Vec::new();
+    cross_entropy_per_sample_into(probs, labels, &mut out);
+    out
+}
+
+/// [`cross_entropy_per_sample`] into a caller-provided vector
+/// (cleared and refilled, allocation-free once warmed).
+///
+/// # Panics
+///
+/// Panics if shapes disagree or any label is out of range.
+pub fn cross_entropy_per_sample_into(probs: &Tensor, labels: &[usize], out: &mut Vec<f32>) {
     let (n, c) = (probs.shape()[0], probs.shape()[1]);
     assert_eq!(labels.len(), n, "labels length mismatch");
-    labels
-        .iter()
-        .enumerate()
-        .map(|(i, &y)| {
-            assert!(y < c, "label {y} out of range for {c} classes");
-            -(probs.data()[i * c + y].max(1e-12)).ln()
-        })
-        .collect()
+    out.clear();
+    out.extend(labels.iter().enumerate().map(|(i, &y)| {
+        assert!(y < c, "label {y} out of range for {c} classes");
+        -(probs.data()[i * c + y].max(1e-12)).ln()
+    }));
 }
 
 /// Unscaled per-sample gradient of cross-entropy w.r.t. logits:
@@ -65,14 +98,25 @@ pub fn cross_entropy_per_sample(probs: &Tensor, labels: &[usize]) -> Vec<f32> {
 /// Panics if shapes disagree or any label is out of range.
 #[must_use]
 pub fn cross_entropy_grad_rows(probs: &Tensor, labels: &[usize]) -> Tensor {
+    let mut grad = Tensor::default();
+    cross_entropy_grad_rows_into(probs, labels, &mut grad);
+    grad
+}
+
+/// [`cross_entropy_grad_rows`] into a caller-provided tensor (resized
+/// in place, allocation-free once warmed).
+///
+/// # Panics
+///
+/// Panics if shapes disagree or any label is out of range.
+pub fn cross_entropy_grad_rows_into(probs: &Tensor, labels: &[usize], out: &mut Tensor) {
     let (n, c) = (probs.shape()[0], probs.shape()[1]);
     assert_eq!(labels.len(), n, "labels length mismatch");
-    let mut grad = probs.clone();
+    out.refill_from(probs);
     for (i, &y) in labels.iter().enumerate() {
         assert!(y < c, "label {y} out of range for {c} classes");
-        grad.data_mut()[i * c + y] -= 1.0;
+        out.data_mut()[i * c + y] -= 1.0;
     }
-    grad
 }
 
 /// Fused weighted softmax cross-entropy with mean reduction.
@@ -92,27 +136,60 @@ pub fn softmax_cross_entropy(
     labels: &[usize],
     weights: Option<&[f32]>,
 ) -> (f32, Tensor) {
+    let mut scratch = CeScratch::default();
+    let loss = softmax_cross_entropy_into(logits, labels, weights, &mut scratch);
+    (loss, scratch.grad)
+}
+
+/// [`softmax_cross_entropy`] computed through reusable scratch. The
+/// gradient is left in the returned reference (backed by `scratch`);
+/// computes bit-identical numbers to the allocating variant.
+///
+/// # Panics
+///
+/// Panics on shape mismatch, out-of-range labels, or non-positive
+/// total weight.
+pub fn softmax_cross_entropy_scratch<'s>(
+    logits: &Tensor,
+    labels: &[usize],
+    weights: Option<&[f32]>,
+    scratch: &'s mut CeScratch,
+) -> (f32, &'s mut Tensor) {
+    let loss = softmax_cross_entropy_into(logits, labels, weights, scratch);
+    (loss, &mut scratch.grad)
+}
+
+fn softmax_cross_entropy_into(
+    logits: &Tensor,
+    labels: &[usize],
+    weights: Option<&[f32]>,
+    scratch: &mut CeScratch,
+) -> f32 {
     let n = logits.shape()[0];
     let c = logits.shape()[1];
     if let Some(w) = weights {
         assert_eq!(w.len(), n, "weights length mismatch");
     }
-    let probs = softmax(logits);
-    let losses = cross_entropy_per_sample(&probs, labels);
+    softmax_into(logits, &mut scratch.probs);
+    cross_entropy_per_sample_into(&scratch.probs, labels, &mut scratch.losses);
     let total_weight: f32 = match weights {
         Some(w) => w.iter().sum(),
         None => n as f32,
     };
     assert!(total_weight > 0.0, "total sample weight must be positive");
-    let loss =
-        losses.iter().enumerate().map(|(i, l)| l * weights.map_or(1.0, |w| w[i])).sum::<f32>()
-            / total_weight;
-    let mut grad = cross_entropy_grad_rows(&probs, labels);
-    for (i, row) in grad.data_mut().chunks_exact_mut(c).enumerate() {
+    let loss = scratch
+        .losses
+        .iter()
+        .enumerate()
+        .map(|(i, l)| l * weights.map_or(1.0, |w| w[i]))
+        .sum::<f32>()
+        / total_weight;
+    cross_entropy_grad_rows_into(&scratch.probs, labels, &mut scratch.grad);
+    for (i, row) in scratch.grad.data_mut().chunks_exact_mut(c).enumerate() {
         let coef = weights.map_or(1.0, |w| w[i]) / total_weight;
         row.iter_mut().for_each(|v| *v *= coef);
     }
-    (loss, grad)
+    loss
 }
 
 /// Fraction of rows whose argmax equals the label.

@@ -25,6 +25,16 @@ pub struct Tensor {
     data: Vec<f32>,
 }
 
+/// The default tensor is empty (no shape, no data). It exists so
+/// scratch structs can `#[derive(Default)]` a parked tensor that is
+/// later grown in place via [`Tensor::refill_from`] /
+/// [`Tensor::resize`]; most tensor methods are meaningless on it.
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor { shape: Vec::new(), data: Vec::new() }
+    }
+}
+
 impl Tensor {
     /// Tensor of zeros with the given shape.
     ///
@@ -162,6 +172,33 @@ impl Tensor {
     /// Fill every element with `value`.
     pub fn fill(&mut self, value: f32) {
         self.data.iter_mut().for_each(|v| *v = value);
+    }
+
+    /// Make `self` an exact copy of `other`, reusing the existing data
+    /// buffer when its capacity suffices. This is the hot-path
+    /// alternative to `clone()`: layer caches and staging tensors call
+    /// it every batch, and once warmed to the largest shape seen it
+    /// performs no allocation.
+    pub fn refill_from(&mut self, other: &Tensor) {
+        self.shape.clear();
+        self.shape.extend_from_slice(&other.shape);
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
+    /// Change the shape in place, reusing the data buffer when its
+    /// capacity suffices. Existing elements are **not** reset — the
+    /// caller is expected to overwrite every slot (staging tensors
+    /// refilled each batch); elements exposed by growth start at 0.0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty or has a zero dimension.
+    pub fn resize(&mut self, shape: &[usize]) {
+        let numel = checked_numel(shape);
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        self.data.resize(numel, 0.0);
     }
 
     /// New tensor with `f` applied elementwise.
@@ -320,6 +357,17 @@ mod tests {
         let var = t.data().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / t.numel() as f32;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn refill_from_copies_and_reuses_buffer() {
+        let src = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let mut dst = Tensor::zeros(&[4, 4]);
+        let ptr = dst.data().as_ptr();
+        dst.refill_from(&src);
+        assert_eq!(dst.shape(), &[2, 2]);
+        assert_eq!(dst.data(), src.data());
+        assert_eq!(dst.data().as_ptr(), ptr, "smaller refill must reuse the buffer");
     }
 
     #[test]

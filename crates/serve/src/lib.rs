@@ -14,10 +14,10 @@
 //!    ([`selective::calibrate_threshold`] — exact-or-under).
 //! 3. [`Engine::submit`] runs micro-batched prediction on the no-grad
 //!    inference path (`selective::SelectiveModel::infer_predict`):
-//!    each micro-batch fans out sample-major across the `nn::pool`
-//!    worker pool — no backward caches, thread-local scratch, results
-//!    independent of the pool size — and yields one [`WaferDecision`]
-//!    per wafer.
+//!    each micro-batch fans out across the `nn::pool` worker pool in
+//!    small batched blocks — no backward caches, thread-local scratch,
+//!    results independent of the pool size — and yields one
+//!    [`WaferDecision`] per wafer.
 //! 4. Every decision feeds a [`CoverageMonitor`]; a sustained coverage
 //!    collapse (the paper's concept-shift signal) surfaces as
 //!    [`CoverageAlarm`]s on the decisions and in the report.
@@ -64,8 +64,8 @@ use wafermap::{Dataset, DefectClass, WaferMap};
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ServeConfig {
     /// Wafers per micro-batch submitted to the model in one inference
-    /// pass. Larger batches amortize per-call overhead and fan
-    /// sample-major across the worker pool; 1 degenerates to per-wafer
+    /// pass. Larger batches amortize per-call overhead and fan across
+    /// the worker pool in batched blocks; 1 degenerates to per-wafer
     /// inference.
     pub micro_batch: usize,
     /// Initial selection threshold τ; [`Engine::calibrate`] replaces
@@ -229,6 +229,7 @@ struct EngineMetrics {
     rolling_coverage: Gauge,
     batch_seconds: Histogram,
     batch_size: Histogram,
+    wafer_compute_seconds: Histogram,
 }
 
 impl EngineMetrics {
@@ -252,6 +253,11 @@ impl EngineMetrics {
                 window,
             ),
             batch_size: registry.histogram("serve_batch_size", "Wafers per micro-batch", window),
+            wafer_compute_seconds: registry.histogram(
+                "serve_wafer_compute_seconds",
+                "Per-wafer model compute time in seconds (excludes batching wait)",
+                window,
+            ),
         }
     }
 }
@@ -269,6 +275,12 @@ pub struct Engine {
     alarms: Vec<CoverageAlarm>,
     registry: Registry,
     metrics: EngineMetrics,
+    /// Micro-batch staging tensor, grown once to
+    /// `micro_batch × grid²` and refilled in place for every batch
+    /// (the workspace memory model — see `nn::workspace`).
+    staging: nn::Tensor,
+    /// Reusable per-batch decision scratch for the stats recorder.
+    batch_decisions: Vec<(usize, bool)>,
 }
 
 impl Engine {
@@ -320,6 +332,8 @@ impl Engine {
             alarms: Vec::new(),
             registry,
             metrics,
+            staging: nn::Tensor::default(),
+            batch_decisions: Vec::new(),
         })
     }
 
@@ -388,15 +402,15 @@ impl Engine {
         let pixels = grid * grid;
         let mut decisions = Vec::with_capacity(wafers.len());
         for chunk in wafers.chunks(self.micro_batch) {
-            let mut data = Vec::with_capacity(chunk.len() * pixels);
-            for w in chunk {
-                data.extend(w.to_image());
+            self.staging.resize(&[chunk.len(), 1, grid, grid]);
+            for (slot, w) in self.staging.data_mut().chunks_exact_mut(pixels).zip(chunk) {
+                w.write_image_into(slot);
             }
-            let images = nn::Tensor::from_vec(data, &[chunk.len(), 1, grid, grid]);
             let start = Instant::now();
-            let preds = self.model.infer_predict(&images, self.threshold);
+            let (preds, compute_secs) =
+                self.model.infer_predict_timed(&self.staging, self.threshold);
             let latency = start.elapsed().as_secs_f64();
-            let mut batch_decisions = Vec::with_capacity(preds.len());
+            self.batch_decisions.clear();
             let mut predicted = 0u64;
             let mut batch_alarms = 0u64;
             for p in &preds {
@@ -409,7 +423,7 @@ impl Engine {
                 if p.selected {
                     predicted += 1;
                 }
-                batch_decisions.push((p.label, p.selected));
+                self.batch_decisions.push((p.label, p.selected));
                 decisions.push(WaferDecision {
                     route: if p.selected {
                         Route::Predicted(class)
@@ -421,7 +435,7 @@ impl Engine {
                     alarm,
                 });
             }
-            self.stats.record_batch(latency, &batch_decisions);
+            self.stats.record_batch_timed(latency, &self.batch_decisions, &compute_secs);
             let m = &self.metrics;
             m.batches.inc();
             m.wafers.add(preds.len() as u64);
@@ -430,6 +444,9 @@ impl Engine {
             m.alarms.add(batch_alarms);
             m.batch_seconds.observe(latency);
             m.batch_size.observe(preds.len() as f64);
+            for &c in &compute_secs {
+                m.wafer_compute_seconds.observe(c);
+            }
             m.rolling_coverage.set(self.monitor.rolling_coverage());
         }
         Ok(decisions)

@@ -166,7 +166,23 @@ impl WaferMap {
     /// This is the tensor fed to the CNN.
     #[must_use]
     pub fn to_image(&self) -> Vec<f32> {
-        self.dies.iter().map(|d| d.intensity()).collect()
+        let mut out = vec![0.0f32; self.dies.len()];
+        self.write_image_into(&mut out);
+        out
+    }
+
+    /// Write the normalized image (see [`WaferMap::to_image`]) into a
+    /// caller-provided buffer — the allocation-free variant used by
+    /// batch-staging hot paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dest.len()` does not equal the grid size.
+    pub fn write_image_into(&self, dest: &mut [f32]) {
+        assert_eq!(dest.len(), self.dies.len(), "image buffer length mismatch");
+        for (slot, die) in dest.iter_mut().zip(&self.dies) {
+            *slot = die.intensity();
+        }
     }
 
     /// Reconstruct a wafer map from a continuous image by quantizing
