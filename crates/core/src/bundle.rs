@@ -23,10 +23,10 @@
 //!   data-ordering RNG to the same state.
 
 use std::fmt;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use nn::optim::{AdamState, StateError};
-use nn::serialize::{Checkpoint, RestoreError, StateDict};
+use nn::serialize::{Checkpoint, LoadError, RestoreError, StateDict};
 use serde::{Deserialize, Serialize};
 
 use crate::{EpochStats, SelectiveConfig, SelectiveModel, TrainConfig};
@@ -136,39 +136,116 @@ impl CheckpointBundle {
         Ok(model)
     }
 
-    /// Serialize to a JSON file.
+    /// Serialize to a checksummed v2 container file, written
+    /// atomically (temp file + fsync + rename) via
+    /// [`nn::serialize::atomic_write`] — a crash mid-save leaves the
+    /// previous bundle intact, never a torn file.
     ///
     /// # Errors
     ///
     /// Propagates file-creation and serialization errors.
     pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), std::io::Error> {
-        let file = std::fs::File::create(path)?;
-        serde_json::to_writer(std::io::BufWriter::new(file), self).map_err(std::io::Error::other)
+        nn::serialize::save_json_container(path, self)
     }
 
-    /// Deserialize from a JSON file written by [`CheckpointBundle::save`],
+    /// Deserialize from a file written by [`CheckpointBundle::save`] —
+    /// either a checksummed v2 container or a bare v1 JSON file —
     /// rejecting unknown format versions.
     ///
     /// # Errors
     ///
-    /// Propagates file/parse errors; an unsupported `format_version` is
-    /// reported as [`std::io::ErrorKind::InvalidData`].
-    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, std::io::Error> {
-        let file = std::fs::File::open(path)?;
-        let bundle: CheckpointBundle = serde_json::from_reader(std::io::BufReader::new(file))
-            .map_err(std::io::Error::other)?;
+    /// Returns the typed [`LoadError`] classifying any truncation,
+    /// checksum mismatch, version skew (container or bundle), or
+    /// parse failure — garbage on disk is never misparsed into a
+    /// bundle and never a panic.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, LoadError> {
+        let (bundle, _version): (CheckpointBundle, u32) = nn::serialize::load_json_container(path)?;
         if bundle.format_version != BUNDLE_FORMAT_VERSION {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!(
-                    "unsupported bundle format version {} (this build reads {})",
-                    bundle.format_version, BUNDLE_FORMAT_VERSION
-                ),
-            ));
+            return Err(LoadError::UnsupportedVersion {
+                found: bundle.format_version,
+                supported: BUNDLE_FORMAT_VERSION,
+            });
         }
         Ok(bundle)
     }
+
+    /// Load the newest intact bundle from a primary path and an
+    /// ordered chain of fallbacks (newest first — typically the
+    /// previous checkpoint generations of the same run).
+    ///
+    /// Each candidate is tried with [`CheckpointBundle::load`]; the
+    /// first one that loads wins. Every failure along the way is
+    /// collected into the result, so the caller can log *why* the
+    /// primary was skipped (truncated? checksum? missing?) instead of
+    /// silently serving stale weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FallbackExhausted`] — carrying the per-path
+    /// [`LoadError`]s — when no candidate loads.
+    pub fn load_with_fallback<P: AsRef<Path>, Q: AsRef<Path>>(
+        primary: P,
+        fallbacks: &[Q],
+    ) -> Result<FallbackLoad, FallbackExhausted> {
+        let mut failures: Vec<(PathBuf, LoadError)> = Vec::new();
+        let candidates = std::iter::once(primary.as_ref().to_path_buf())
+            .chain(fallbacks.iter().map(|p| p.as_ref().to_path_buf()));
+        for (index, path) in candidates.enumerate() {
+            match CheckpointBundle::load(&path) {
+                Ok(bundle) => {
+                    return Ok(FallbackLoad { bundle, source: path, source_index: index, failures })
+                }
+                Err(e) => failures.push((path, e)),
+            }
+        }
+        Err(FallbackExhausted { failures })
+    }
 }
+
+/// Successful [`CheckpointBundle::load_with_fallback`]: the bundle,
+/// where it came from, and what failed before it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FallbackLoad {
+    /// The newest intact bundle found.
+    pub bundle: CheckpointBundle,
+    /// Path the bundle was loaded from.
+    pub source: PathBuf,
+    /// Position in the candidate chain: `0` is the primary, `1` the
+    /// first fallback, and so on. Non-zero means degraded recovery —
+    /// the served weights are older than intended.
+    pub source_index: usize,
+    /// Candidates that failed before `source`, with the typed reason
+    /// each was rejected.
+    pub failures: Vec<(PathBuf, LoadError)>,
+}
+
+impl FallbackLoad {
+    /// Whether the primary itself loaded (no fallback was needed).
+    #[must_use]
+    pub fn is_primary(&self) -> bool {
+        self.source_index == 0
+    }
+}
+
+/// [`CheckpointBundle::load_with_fallback`] found no intact candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FallbackExhausted {
+    /// Every candidate path with the typed reason it was rejected,
+    /// in the order tried (primary first).
+    pub failures: Vec<(PathBuf, LoadError)>,
+}
+
+impl fmt::Display for FallbackExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no intact checkpoint bundle among {} candidate(s):", self.failures.len())?;
+        for (path, err) in &self.failures {
+            write!(f, " [{}: {err}]", path.display())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for FallbackExhausted {}
 
 /// Error consuming a [`CheckpointBundle`].
 #[derive(Debug, Clone, PartialEq)]
@@ -274,7 +351,71 @@ mod tests {
         bundle.save(&path).expect("save");
         let err = CheckpointBundle::load(&path).expect_err("future version must be rejected");
         let _ = std::fs::remove_file(&path);
-        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(matches!(err, LoadError::UnsupportedVersion { supported, .. }
+            if supported == BUNDLE_FORMAT_VERSION));
+    }
+
+    #[test]
+    fn legacy_v1_json_bundle_still_loads() {
+        let mut model = tiny_model(15);
+        let bundle = CheckpointBundle::export(&mut model);
+        let dir = std::env::temp_dir().join("core_bundle_v1_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("legacy.json");
+        // The pre-container on-disk format: bare JSON, no header.
+        std::fs::write(&path, serde_json::to_string(&bundle).expect("serialize")).expect("write");
+        let loaded = CheckpointBundle::load(&path).expect("v1 bundle must still load");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(loaded, bundle);
+    }
+
+    #[test]
+    fn load_with_fallback_steps_back_to_newest_intact_generation() {
+        let mut model = tiny_model(16);
+        let bundle = CheckpointBundle::export(&mut model);
+        let dir = std::env::temp_dir().join("core_bundle_fallback_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let gen2 = dir.join("gen2.ckpt");
+        let gen1 = dir.join("gen1.ckpt");
+        let gen0 = dir.join("gen0.ckpt");
+        bundle.save(&gen2).expect("save gen2");
+        bundle.save(&gen1).expect("save gen1");
+        bundle.save(&gen0).expect("save gen0");
+
+        // Intact primary: no fallback consulted.
+        let hit = CheckpointBundle::load_with_fallback(&gen2, &[gen1.clone(), gen0.clone()])
+            .expect("primary intact");
+        assert!(hit.is_primary());
+        assert!(hit.failures.is_empty());
+        assert_eq!(hit.bundle, bundle);
+
+        // Corrupt the newest two generations: recovery lands on gen0
+        // and reports why the others were skipped.
+        let len = std::fs::metadata(&gen2).expect("meta").len();
+        let intact = std::fs::read(&gen2).expect("read");
+        std::fs::write(&gen2, &intact[..len as usize / 2]).expect("truncate gen2");
+        let mut flipped = intact.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        std::fs::write(&gen1, &flipped).expect("corrupt gen1");
+
+        let recovered = CheckpointBundle::load_with_fallback(&gen2, &[gen1.clone(), gen0.clone()])
+            .expect("gen0 intact");
+        assert_eq!(recovered.source_index, 2);
+        assert_eq!(recovered.source, gen0);
+        assert_eq!(recovered.bundle, bundle);
+        assert_eq!(recovered.failures.len(), 2);
+        assert!(matches!(recovered.failures[0].1, LoadError::Truncated { .. }));
+        assert!(matches!(recovered.failures[1].1, LoadError::ChecksumMismatch { .. }));
+
+        // No intact candidate: typed exhaustion, not a panic.
+        std::fs::remove_file(&gen0).expect("remove gen0");
+        let err = CheckpointBundle::load_with_fallback(&gen2, &[gen1.clone(), gen0.clone()])
+            .expect_err("all candidates corrupt or missing");
+        assert_eq!(err.failures.len(), 3);
+        assert!(matches!(err.failures[2].1, LoadError::Io { .. }));
+        let _ = std::fs::remove_file(&gen2);
+        let _ = std::fs::remove_file(&gen1);
     }
 
     #[test]

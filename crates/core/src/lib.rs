@@ -51,11 +51,15 @@ mod trainer;
 pub mod monitor;
 pub mod sweep;
 
-pub use bundle::{BundleError, CheckpointBundle, TrainProgress, BUNDLE_FORMAT_VERSION};
+pub use bundle::{
+    BundleError, CheckpointBundle, FallbackExhausted, FallbackLoad, TrainProgress,
+    BUNDLE_FORMAT_VERSION,
+};
 pub use config::SelectiveConfig;
 pub use loss::{SelectiveLoss, SelectiveLossValue, SelectiveScratch};
 pub use model::SelectiveModel;
 pub use monitor::{CoverageAlarm, CoverageMonitor};
+pub use nn::serialize::LoadError;
 pub use predict::{calibrate_threshold, SelectivePrediction};
 pub use sweep::{threshold_sweep, uniform_thresholds};
 pub use trainer::{EpochStats, TrainConfig, TrainReport, Trainer};

@@ -33,4 +33,4 @@ mod serving;
 
 pub use confusion::{ClassScores, ConfusionMatrix};
 pub use selective::{aurc, RiskCoveragePoint, SelectiveMetrics, SelectiveOutcome};
-pub use serving::{LatencySummary, ServingSnapshot, ServingStats};
+pub use serving::{LatencySummary, ServingSnapshot, ServingStats, ShedCount};

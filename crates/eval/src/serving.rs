@@ -50,6 +50,12 @@ pub struct ServingStats {
     wafers: u64,
     predicted_per_class: Vec<u64>,
     abstained_per_class: Vec<u64>,
+    /// Wafers the serving layer shed (degraded-mode abstentions that
+    /// never reached the model), tallied per reason label. Kept
+    /// separate from the per-class model counts: a shed wafer has no
+    /// model output, and folding it into `abstained` would corrupt
+    /// the coverage signal the monitor alarms on.
+    shed_per_reason: Vec<(String, u64)>,
 }
 
 impl ServingStats {
@@ -77,7 +83,27 @@ impl ServingStats {
             wafers: 0,
             predicted_per_class: vec![0; n_classes],
             abstained_per_class: vec![0; n_classes],
+            shed_per_reason: Vec::new(),
         }
+    }
+
+    /// Record one wafer the serving layer shed (invalid input,
+    /// deadline breach, queue overflow, …) under a free-form reason
+    /// label. Shed wafers are **not** counted as model wafers: they
+    /// contribute to neither `wafers`, the per-class tallies, nor
+    /// coverage — the snapshot reports them in their own column.
+    pub fn record_shed(&mut self, reason: &str) {
+        if let Some(entry) = self.shed_per_reason.iter_mut().find(|(r, _)| r == reason) {
+            entry.1 += 1;
+        } else {
+            self.shed_per_reason.push((reason.to_string(), 1));
+        }
+    }
+
+    /// Total wafers shed by the serving layer (exact, not windowed).
+    #[must_use]
+    pub fn shed(&self) -> u64 {
+        self.shed_per_reason.iter().map(|(_, n)| n).sum()
     }
 
     /// Record one completed micro-batch: its wall-clock latency in
@@ -186,11 +212,19 @@ impl ServingStats {
         // Exact total busy time: the window's running sum covers the
         // whole stream even after old samples are evicted.
         let busy: f64 = self.batch_latencies.sum();
+        let shed = self.shed();
         ServingSnapshot {
             batches: self.batches() as u64,
             wafers,
             predicted,
             abstained,
+            shed,
+            submitted: wafers + shed,
+            shed_per_reason: self
+                .shed_per_reason
+                .iter()
+                .map(|(reason, count)| ShedCount { reason: reason.clone(), count: *count })
+                .collect(),
             coverage: if wafers == 0 { 0.0 } else { predicted as f64 / wafers as f64 },
             throughput_wafers_per_sec: if busy > 0.0 { wafers as f64 / busy } else { 0.0 },
             latency: LatencySummary::from_samples(self.wafer_latencies.samples()),
@@ -247,6 +281,15 @@ impl LatencySummary {
     }
 }
 
+/// One shed-reason tally in a [`ServingSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShedCount {
+    /// Reason label as recorded by [`ServingStats::record_shed`].
+    pub reason: String,
+    /// Wafers shed for this reason.
+    pub count: u64,
+}
+
 /// Serializable point-in-time view of a [`ServingStats`] accumulator —
 /// the payload of the serving layer's JSON status report.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -257,9 +300,20 @@ pub struct ServingSnapshot {
     pub wafers: u64,
     /// Wafers the model committed a label to.
     pub predicted: u64,
-    /// Wafers routed to the reject option.
+    /// Wafers the model abstained on (model-decided reject option).
     pub abstained: u64,
-    /// Empirical coverage so far (`predicted / wafers`).
+    /// Wafers the serving layer shed before the model ran —
+    /// degraded-mode abstentions (invalid input, deadline breach,
+    /// queue overflow). Always `predicted + abstained == wafers` and
+    /// `wafers + shed == submitted`.
+    pub shed: u64,
+    /// Total wafers submitted, served or shed.
+    pub submitted: u64,
+    /// Shed tally per reason label, in first-seen order.
+    pub shed_per_reason: Vec<ShedCount>,
+    /// Empirical coverage so far (`predicted / wafers`); shed wafers
+    /// are excluded — shedding is an operational failure signal, not
+    /// a model-coverage signal.
     pub coverage: f64,
     /// Wafers per second of model compute time (sum of batch
     /// latencies, excluding idle gaps between batches).
@@ -413,5 +467,34 @@ mod tests {
     fn mismatched_compute_timings_rejected() {
         let mut stats = ServingStats::new(2);
         stats.record_batch_timed(0.01, &[(0, true), (1, true)], &[0.001]);
+    }
+
+    #[test]
+    fn shed_wafers_are_counted_separately_from_model_abstentions() {
+        let mut stats = ServingStats::new(2);
+        stats.record_batch(0.010, &[(0, true), (1, false)]);
+        stats.record_shed("invalid_input");
+        stats.record_shed("invalid_input");
+        stats.record_shed("deadline_exceeded");
+        let snap = stats.snapshot();
+        // Model counts are untouched by shedding.
+        assert_eq!(snap.wafers, 2);
+        assert_eq!(snap.predicted, 1);
+        assert_eq!(snap.abstained, 1);
+        assert!((snap.coverage - 0.5).abs() < 1e-12, "shed wafers must not dilute coverage");
+        // Shedding has its own ledger.
+        assert_eq!(snap.shed, 3);
+        assert_eq!(snap.submitted, 5);
+        assert_eq!(
+            snap.shed_per_reason,
+            vec![
+                ShedCount { reason: "invalid_input".to_string(), count: 2 },
+                ShedCount { reason: "deadline_exceeded".to_string(), count: 1 },
+            ]
+        );
+        // And it round-trips through the JSON report.
+        let json = serde_json::to_string(&snap).expect("serialize");
+        let back: ServingSnapshot = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, snap);
     }
 }

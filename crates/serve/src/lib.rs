@@ -22,6 +22,34 @@
 //!    collapse (the paper's concept-shift signal) surfaces as
 //!    [`CoverageAlarm`]s on the decisions and in the report.
 //!
+//! # Graceful degradation
+//!
+//! The selective paradigm gives the engine a principled degraded mode:
+//! when a wafer cannot or should not reach the model, the engine does
+//! not stall, panic, or fabricate a label — it routes the wafer to the
+//! reject option, exactly as the paper's selection head does for
+//! low-confidence inputs, with the operational cause recorded as a
+//! [`ShedReason`]:
+//!
+//! - **Invalid input** — [`Engine::submit_raw`] validates untyped
+//!   pixel buffers (shape, NaN/∞, canonical WM-811K pixel levels) and
+//!   sheds the poisoned wafers while the rest of the batch is served
+//!   normally.
+//! - **Deadline breach** — with [`ServeConfig::deadline`] set, a
+//!   submission that overruns its budget sheds the not-yet-served
+//!   remainder instead of stalling the caller. Time is read through
+//!   the [`Clock`] trait, so tests drive deadline pressure
+//!   deterministically with `faultsim::SimClock`.
+//! - **Queue overflow** — with [`ServeConfig::max_queue_depth`] set,
+//!   a submission deeper than the queue bound sheds the excess
+//!   instead of letting latency grow without bound.
+//!
+//! Shed wafers are counted separately from model abstentions
+//! everywhere: `Route::Shed` on the decision, `shed` /
+//! `shed_per_reason` in [`eval::ServingSnapshot`], and the
+//! `serve_shed_total{reason}` counters in telemetry. Coverage — the
+//! concept-shift signal — is computed over model-served wafers only.
+//!
 //! # Example
 //!
 //! ```
@@ -42,7 +70,7 @@
 //! let decisions = engine.submit(&[wafer]).unwrap();
 //! assert_eq!(decisions.len(), 1);
 //! match decisions[0].route {
-//!     Route::Predicted(_) | Route::Abstained(_) => {}
+//!     Route::Predicted(_) | Route::Abstained(_) | Route::Shed(_) => {}
 //! }
 //! assert_eq!(engine.report().serving.wafers, 1);
 //! ```
@@ -51,14 +79,16 @@
 #![warn(missing_docs)]
 
 use std::fmt;
-use std::time::Instant;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use eval::{ServingSnapshot, ServingStats};
 use selective::monitor::{CoverageAlarm, CoverageMonitor};
-use selective::{calibrate_threshold, BundleError, CheckpointBundle, SelectiveModel};
+use selective::{calibrate_threshold, BundleError, CheckpointBundle, LoadError, SelectiveModel};
 use serde::{Deserialize, Serialize};
 use telemetry::{Counter, Gauge, Histogram, Registry, Snapshot};
-use wafermap::{Dataset, DefectClass, WaferMap};
+use wafermap::{Dataset, DefectClass, Die, WaferMap};
 
 /// Serving-engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -84,6 +114,16 @@ pub struct ServeConfig {
     /// O(`stats_window` + `monitor_window`) no matter how many wafers
     /// stream through.
     pub stats_window: usize,
+    /// Per-submission latency budget in seconds. When a submission
+    /// overruns it, the not-yet-served remainder is shed to the reject
+    /// option with [`ShedReason::DeadlineExceeded`] (checked at
+    /// micro-batch boundaries — a batch already in flight completes).
+    /// `None` disables deadline shedding.
+    pub deadline: Option<f64>,
+    /// Most wafers one submission may send to the model. Excess wafers
+    /// are shed with [`ShedReason::QueueFull`] instead of growing the
+    /// effective queue without bound. `None` disables the cap.
+    pub max_queue_depth: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -95,7 +135,99 @@ impl Default for ServeConfig {
             monitor_window: 64,
             alarm_fraction: 0.5,
             stats_window: telemetry::DEFAULT_WINDOW,
+            deadline: None,
+            max_queue_depth: None,
         }
+    }
+}
+
+/// Monotonic time source for deadline enforcement.
+///
+/// Production engines use [`WallClock`]; tests install a
+/// `faultsim::SimClock` (which implements this trait) via
+/// [`Engine::with_clock`] so deadline pressure is deterministic and
+/// independent of machine speed.
+pub trait Clock: fmt::Debug + Send + Sync {
+    /// Elapsed time since an arbitrary fixed origin.
+    fn now(&self) -> Duration;
+}
+
+/// Real monotonic time ([`Instant`]-backed). The default engine clock.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose origin is the moment of construction.
+    #[must_use]
+    pub fn new() -> Self {
+        WallClock { origin: Instant::now() }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> Duration {
+        self.origin.elapsed()
+    }
+}
+
+impl Clock for faultsim::SimClock {
+    fn now(&self) -> Duration {
+        faultsim::SimClock::now(self)
+    }
+}
+
+/// Why the serving layer shed a wafer to the reject option without
+/// (fully) consulting the model. See the crate docs on
+/// [graceful degradation](self#graceful-degradation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShedReason {
+    /// The raw input failed validation (shape, non-finite pixels, or
+    /// non-canonical pixel levels) and never reached the model.
+    InvalidInput,
+    /// The submission overran its [`ServeConfig::deadline`]; this
+    /// wafer was in the unserved remainder.
+    DeadlineExceeded,
+    /// The submission exceeded [`ServeConfig::max_queue_depth`]; this
+    /// wafer was in the excess.
+    QueueFull,
+}
+
+impl ShedReason {
+    /// Every shed reason, in telemetry-label order.
+    pub const ALL: [ShedReason; 3] =
+        [ShedReason::InvalidInput, ShedReason::DeadlineExceeded, ShedReason::QueueFull];
+
+    /// Stable label used for telemetry (`serve_shed_total{reason=…}`)
+    /// and serving-stats breakdowns.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShedReason::InvalidInput => "invalid_input",
+            ShedReason::DeadlineExceeded => "deadline_exceeded",
+            ShedReason::QueueFull => "queue_full",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            ShedReason::InvalidInput => 0,
+            ShedReason::DeadlineExceeded => 1,
+            ShedReason::QueueFull => 2,
+        }
+    }
+}
+
+impl fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 
@@ -107,6 +239,12 @@ pub enum Route {
     /// The model abstained; the payload is the label it *would* have
     /// predicted (useful for triage of the rejected stream).
     Abstained(DefectClass),
+    /// The serving layer shed this wafer to the reject option without
+    /// a model verdict; the payload says why. Shed wafers carry
+    /// `confidence = 0` and `selection_score = 0` (never NaN, so
+    /// decisions stay bit-comparable across runs) and do not feed the
+    /// coverage monitor.
+    Shed(ShedReason),
 }
 
 /// Decision for one submitted wafer.
@@ -127,6 +265,101 @@ impl WaferDecision {
     #[must_use]
     pub fn selected(&self) -> bool {
         matches!(self.route, Route::Predicted(_))
+    }
+
+    /// Whether the serving layer shed this wafer (and why).
+    #[must_use]
+    pub fn shed(&self) -> Option<ShedReason> {
+        match self.route {
+            Route::Shed(reason) => Some(reason),
+            _ => None,
+        }
+    }
+}
+
+/// Tolerance around the canonical WM-811K pixel levels
+/// (0 off-wafer, 0.5 pass, 1 fail) accepted by
+/// [`Engine::submit_raw`]'s validator.
+pub const PIXEL_LEVEL_TOLERANCE: f32 = 0.05;
+
+/// An untyped wafer image as it arrives over the wire: a flat
+/// row-major pixel buffer that has not yet been validated into a
+/// [`WaferMap`]. This is the boundary where fault-injected inputs
+/// (NaN pixels, truncated buffers, non-canonical levels) are caught
+/// and shed instead of reaching the model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RawWafer {
+    /// Dies per row.
+    pub width: usize,
+    /// Dies per column.
+    pub height: usize,
+    /// Row-major pixel intensities; canonical levels are 0 (off-wafer),
+    /// 0.5 (pass) and 1 (fail), accepted within
+    /// [`PIXEL_LEVEL_TOLERANCE`].
+    pub pixels: Vec<f32>,
+}
+
+impl RawWafer {
+    /// Encode a typed wafer map as a raw pixel buffer (the inverse of
+    /// validation; handy for tests and for re-serving archived maps).
+    #[must_use]
+    pub fn from_map(map: &WaferMap) -> Self {
+        let mut pixels = vec![0.0; map.width() * map.height()];
+        map.write_image_into(&mut pixels);
+        RawWafer { width: map.width(), height: map.height(), pixels }
+    }
+}
+
+/// What [`Engine::submit_raw`]'s validator found wrong with one raw
+/// wafer. Carried for diagnostics; the wafer itself is shed with
+/// [`ShedReason::InvalidInput`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InputFault {
+    /// The buffer's dimensions do not match the model's input grid.
+    ShapeMismatch {
+        /// Model input side length.
+        expected: usize,
+        /// The raw buffer's claimed dimensions.
+        found: (usize, usize),
+    },
+    /// `pixels.len()` disagrees with `width × height`.
+    LengthMismatch {
+        /// `width × height`.
+        expected: usize,
+        /// Actual buffer length.
+        found: usize,
+    },
+    /// A pixel is NaN or infinite.
+    NonFinite {
+        /// Index of the offending pixel.
+        index: usize,
+    },
+    /// A finite pixel is not within [`PIXEL_LEVEL_TOLERANCE`] of any
+    /// canonical level.
+    IllegalLevel {
+        /// Index of the offending pixel.
+        index: usize,
+        /// Its value.
+        value: f32,
+    },
+}
+
+impl fmt::Display for InputFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InputFault::ShapeMismatch { expected, found } => write!(
+                f,
+                "raw wafer is {}x{} but the model expects {expected}x{expected}",
+                found.0, found.1
+            ),
+            InputFault::LengthMismatch { expected, found } => {
+                write!(f, "pixel buffer holds {found} values, dimensions imply {expected}")
+            }
+            InputFault::NonFinite { index } => write!(f, "pixel {index} is not finite"),
+            InputFault::IllegalLevel { index, value } => {
+                write!(f, "pixel {index} = {value} is not a canonical wafer level")
+            }
+        }
     }
 }
 
@@ -230,6 +463,9 @@ struct EngineMetrics {
     batch_seconds: Histogram,
     batch_size: Histogram,
     wafer_compute_seconds: Histogram,
+    /// One labelled `serve_shed_total{reason=…}` counter per
+    /// [`ShedReason`], indexed by [`ShedReason::index`].
+    shed: [Counter; 3],
 }
 
 impl EngineMetrics {
@@ -258,6 +494,13 @@ impl EngineMetrics {
                 "Per-wafer model compute time in seconds (excludes batching wait)",
                 window,
             ),
+            shed: ShedReason::ALL.map(|reason| {
+                registry.counter_with(
+                    "serve_shed_total",
+                    &[("reason", reason.as_str())],
+                    "Wafers shed to the reject option by the serving layer",
+                )
+            }),
         }
     }
 }
@@ -281,6 +524,13 @@ pub struct Engine {
     staging: nn::Tensor,
     /// Reusable per-batch decision scratch for the stats recorder.
     batch_decisions: Vec<(usize, bool)>,
+    /// Per-submission latency budget; `None` disables deadline sheds.
+    deadline: Option<Duration>,
+    /// Per-submission model-bound wafer cap; `None` disables it.
+    max_queue_depth: Option<usize>,
+    /// Time source for deadline enforcement (wall clock by default,
+    /// swappable for deterministic tests via [`Engine::with_clock`]).
+    clock: Arc<dyn Clock>,
 }
 
 impl Engine {
@@ -310,6 +560,18 @@ impl Engine {
         if config.stats_window == 0 {
             return Err(ServeError::InvalidConfig("stats_window must be non-zero".into()));
         }
+        if let Some(deadline) = config.deadline {
+            if !(deadline.is_finite() && deadline > 0.0) {
+                return Err(ServeError::InvalidConfig(
+                    "deadline must be a finite positive number of seconds".into(),
+                ));
+            }
+        }
+        if config.max_queue_depth == Some(0) {
+            return Err(ServeError::InvalidConfig(
+                "max_queue_depth of zero would shed every wafer".into(),
+            ));
+        }
         let n_classes = bundle.model_config().n_classes;
         if n_classes > DefectClass::COUNT {
             return Err(ServeError::UnsupportedClasses { n_classes });
@@ -334,7 +596,18 @@ impl Engine {
             metrics,
             staging: nn::Tensor::default(),
             batch_decisions: Vec::new(),
+            deadline: config.deadline.map(Duration::from_secs_f64),
+            max_queue_depth: config.max_queue_depth,
+            clock: Arc::new(WallClock::new()),
         })
+    }
+
+    /// Replace the engine's time source — used by tests to drive
+    /// deadline shedding deterministically with `faultsim::SimClock`.
+    #[must_use]
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
     }
 
     /// The selection threshold currently in force.
@@ -381,14 +654,22 @@ impl Engine {
     }
 
     /// Run selective inference over `wafers` in micro-batches,
-    /// returning one decision per wafer in input order. Every decision
-    /// is fed to the coverage monitor; any alarm it raises is attached
-    /// to the wafer that triggered it.
+    /// returning one decision per wafer in input order. Every
+    /// model-served decision is fed to the coverage monitor; any alarm
+    /// it raises is attached to the wafer that triggered it. With a
+    /// [`ServeConfig::deadline`] or [`ServeConfig::max_queue_depth`]
+    /// set, wafers the budget cannot cover come back as
+    /// [`Route::Shed`] instead (see the crate docs on
+    /// [graceful degradation](self#graceful-degradation)).
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::GridMismatch`] if any wafer does not
     /// match the model's input grid (no partial work is performed).
+    /// Typed [`WaferMap`]s are trusted inputs — a wrong grid here is a
+    /// caller bug, not line noise, so the whole batch is rejected
+    /// rather than shed. Untrusted buffers go through
+    /// [`Engine::submit_raw`], which sheds instead.
     pub fn submit(&mut self, wafers: &[WaferMap]) -> Result<Vec<WaferDecision>, ServeError> {
         let grid = self.grid();
         for w in wafers {
@@ -399,12 +680,131 @@ impl Engine {
                 });
             }
         }
+        let pending: Vec<(usize, &WaferMap)> = wafers.iter().enumerate().collect();
+        Ok(self.route_pending(pending, wafers.len(), Vec::new()))
+    }
+
+    /// Validate one untyped pixel buffer against the model's input
+    /// contract. On success the buffer is promoted to a typed
+    /// [`WaferMap`]; on failure the first fault found is returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`InputFault`] encountered: shape or length
+    /// mismatch, a non-finite pixel, or a pixel outside
+    /// [`PIXEL_LEVEL_TOLERANCE`] of the canonical levels.
+    pub fn validate_raw(&self, raw: &RawWafer) -> Result<WaferMap, InputFault> {
+        let grid = self.grid();
+        if raw.width != grid || raw.height != grid {
+            return Err(InputFault::ShapeMismatch {
+                expected: grid,
+                found: (raw.width, raw.height),
+            });
+        }
+        let expected = raw.width * raw.height;
+        if raw.pixels.len() != expected {
+            return Err(InputFault::LengthMismatch { expected, found: raw.pixels.len() });
+        }
+        let mut dies = Vec::with_capacity(raw.pixels.len());
+        for (index, &value) in raw.pixels.iter().enumerate() {
+            if !value.is_finite() {
+                return Err(InputFault::NonFinite { index });
+            }
+            let die = if (value - Die::OffWafer.intensity()).abs() <= PIXEL_LEVEL_TOLERANCE {
+                Die::OffWafer
+            } else if (value - Die::Pass.intensity()).abs() <= PIXEL_LEVEL_TOLERANCE {
+                Die::Pass
+            } else if (value - Die::Fail.intensity()).abs() <= PIXEL_LEVEL_TOLERANCE {
+                Die::Fail
+            } else {
+                return Err(InputFault::IllegalLevel { index, value });
+            };
+            dies.push(die);
+        }
+        WaferMap::from_dies(raw.width, raw.height, dies)
+            .map_err(|_| InputFault::LengthMismatch { expected, found: 0 })
+    }
+
+    /// Serve a batch of untyped pixel buffers as they would arrive
+    /// over the wire. Each buffer is validated first; invalid wafers
+    /// are shed with [`ShedReason::InvalidInput`] while the rest of
+    /// the batch is served normally — one poisoned wafer never takes
+    /// down its neighbours. Always returns one decision per input, in
+    /// input order.
+    #[must_use]
+    pub fn submit_raw(&mut self, wafers: &[RawWafer]) -> Vec<WaferDecision> {
+        let mut pre_shed: Vec<(usize, ShedReason)> = Vec::new();
+        let mut valid: Vec<(usize, WaferMap)> = Vec::new();
+        for (index, raw) in wafers.iter().enumerate() {
+            match self.validate_raw(raw) {
+                Ok(map) => valid.push((index, map)),
+                Err(_) => pre_shed.push((index, ShedReason::InvalidInput)),
+            }
+        }
+        let pending: Vec<(usize, &WaferMap)> =
+            valid.iter().map(|(index, map)| (*index, map)).collect();
+        self.route_pending(pending, wafers.len(), pre_shed)
+    }
+
+    fn shed_decision(reason: ShedReason) -> WaferDecision {
+        WaferDecision {
+            route: Route::Shed(reason),
+            confidence: 0.0,
+            selection_score: 0.0,
+            alarm: None,
+        }
+    }
+
+    fn record_shed(&mut self, reason: ShedReason) {
+        self.stats.record_shed(reason.as_str());
+        self.metrics.shed[reason.index()].inc();
+    }
+
+    /// Core routing loop shared by [`Engine::submit`] and
+    /// [`Engine::submit_raw`]: `pending` holds `(input slot, wafer)`
+    /// pairs bound for the model, `total` the size of the original
+    /// submission, `pre_shed` slots already shed by validation. Applies
+    /// queue-depth shedding up front, then serves micro-batches until
+    /// done or the deadline passes, shedding the remainder.
+    fn route_pending(
+        &mut self,
+        mut pending: Vec<(usize, &WaferMap)>,
+        total: usize,
+        pre_shed: Vec<(usize, ShedReason)>,
+    ) -> Vec<WaferDecision> {
+        let mut out: Vec<Option<WaferDecision>> = vec![None; total];
+        for (slot, reason) in pre_shed {
+            self.record_shed(reason);
+            out[slot] = Some(Self::shed_decision(reason));
+        }
+        if let Some(depth) = self.max_queue_depth {
+            if pending.len() > depth {
+                for &(slot, _) in &pending[depth..] {
+                    self.record_shed(ShedReason::QueueFull);
+                    out[slot] = Some(Self::shed_decision(ShedReason::QueueFull));
+                }
+                pending.truncate(depth);
+            }
+        }
+        let grid = self.grid();
         let pixels = grid * grid;
-        let mut decisions = Vec::with_capacity(wafers.len());
-        for chunk in wafers.chunks(self.micro_batch) {
+        let submit_start = self.deadline.map(|_| self.clock.now());
+        let mut offset = 0;
+        while offset < pending.len() {
+            if let (Some(deadline), Some(start)) = (self.deadline, submit_start) {
+                if self.clock.now().saturating_sub(start) > deadline {
+                    for &(slot, _) in &pending[offset..] {
+                        self.record_shed(ShedReason::DeadlineExceeded);
+                        out[slot] = Some(Self::shed_decision(ShedReason::DeadlineExceeded));
+                    }
+                    break;
+                }
+            }
+            let end = (offset + self.micro_batch).min(pending.len());
+            let chunk = &pending[offset..end];
             self.staging.resize(&[chunk.len(), 1, grid, grid]);
-            for (slot, w) in self.staging.data_mut().chunks_exact_mut(pixels).zip(chunk) {
-                w.write_image_into(slot);
+            for (stage, &(_, w)) in self.staging.data_mut().chunks_exact_mut(pixels).zip(chunk) {
+                w.write_image_into(stage);
             }
             let start = Instant::now();
             let (preds, compute_secs) =
@@ -413,7 +813,7 @@ impl Engine {
             self.batch_decisions.clear();
             let mut predicted = 0u64;
             let mut batch_alarms = 0u64;
-            for p in &preds {
+            for (p, &(slot, _)) in preds.iter().zip(chunk) {
                 let class = DefectClass::from_index(p.label).expect("validated class range");
                 let alarm = self.monitor.observe(p.selected);
                 if let Some(a) = alarm {
@@ -424,7 +824,7 @@ impl Engine {
                     predicted += 1;
                 }
                 self.batch_decisions.push((p.label, p.selected));
-                decisions.push(WaferDecision {
+                out[slot] = Some(WaferDecision {
                     route: if p.selected {
                         Route::Predicted(class)
                     } else {
@@ -448,8 +848,11 @@ impl Engine {
                 m.wafer_compute_seconds.observe(c);
             }
             m.rolling_coverage.set(self.monitor.rolling_coverage());
+            offset = end;
         }
-        Ok(decisions)
+        out.into_iter()
+            .map(|decision| decision.expect("every submitted wafer is routed exactly once"))
+            .collect()
     }
 
     /// Coverage alarms raised so far, in order.
@@ -494,6 +897,75 @@ impl Engine {
     pub fn prometheus(&self) -> String {
         self.registry.prometheus()
     }
+}
+
+/// Bounded-retry policy for transient checkpoint-load failures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total load attempts (first try included). Zero is treated as 1.
+    pub attempts: u32,
+    /// Backoff before the first retry.
+    pub initial_backoff: Duration,
+    /// Ceiling on the (doubling) backoff between retries.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            initial_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff to sleep before retry number `retry` (0-based),
+    /// doubling from [`RetryPolicy::initial_backoff`] and capped at
+    /// [`RetryPolicy::max_backoff`].
+    #[must_use]
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let doubled =
+            self.initial_backoff.checked_mul(1u32 << retry.min(20)).unwrap_or(self.max_backoff);
+        doubled.min(self.max_backoff)
+    }
+}
+
+/// Load a checkpoint bundle, retrying transient I/O failures with
+/// bounded exponential backoff. Only [`LoadError::Io`] is retried —
+/// corruption ([`LoadError::Truncated`], [`LoadError::ChecksumMismatch`],
+/// …) is deterministic, so retrying would only delay the fallback to
+/// an older bundle ([`CheckpointBundle::load_with_fallback`]).
+///
+/// `sleep` performs the backoff wait; production callers pass
+/// `std::thread::sleep`, tests pass a recorder to assert the schedule
+/// without slowing the suite down.
+///
+/// # Errors
+///
+/// The last [`LoadError`] once attempts are exhausted, or immediately
+/// for non-transient errors.
+pub fn load_bundle_with_retry<P: AsRef<Path>, S: FnMut(Duration)>(
+    path: P,
+    policy: RetryPolicy,
+    mut sleep: S,
+) -> Result<CheckpointBundle, LoadError> {
+    let attempts = policy.attempts.max(1);
+    let mut last = None;
+    for attempt in 0..attempts {
+        match CheckpointBundle::load(path.as_ref()) {
+            Ok(bundle) => return Ok(bundle),
+            Err(err @ LoadError::Io { .. }) => {
+                if attempt + 1 < attempts {
+                    sleep(policy.backoff(attempt));
+                }
+                last = Some(err);
+            }
+            Err(err) => return Err(err),
+        }
+    }
+    Err(last.expect("at least one attempt was made"))
 }
 
 #[cfg(test)]
@@ -580,9 +1052,186 @@ mod tests {
             ServeConfig { target_coverage: 0.0, ..ServeConfig::default() },
             ServeConfig { alarm_fraction: 1.5, ..ServeConfig::default() },
             ServeConfig { stats_window: 0, ..ServeConfig::default() },
+            ServeConfig { deadline: Some(0.0), ..ServeConfig::default() },
+            ServeConfig { deadline: Some(f64::NAN), ..ServeConfig::default() },
+            ServeConfig { deadline: Some(-1.0), ..ServeConfig::default() },
+            ServeConfig { max_queue_depth: Some(0), ..ServeConfig::default() },
         ] {
             assert!(matches!(Engine::from_bundle(&bundle, bad), Err(ServeError::InvalidConfig(_))));
         }
+    }
+
+    #[test]
+    fn raw_submission_sheds_poisoned_wafers_and_serves_the_rest() {
+        let bundle = tiny_bundle(21);
+        let mut engine =
+            Engine::from_bundle(&bundle, ServeConfig { micro_batch: 4, ..ServeConfig::default() })
+                .expect("valid");
+        let maps = wafers(5, 16, 22);
+        let mut raw: Vec<RawWafer> = maps.iter().map(RawWafer::from_map).collect();
+        raw[1].pixels[7] = f32::NAN;
+        raw[3].pixels[0] = 0.23; // non-canonical level
+        let decisions = engine.submit_raw(&raw);
+        assert_eq!(decisions.len(), 5);
+        assert_eq!(decisions[1].shed(), Some(ShedReason::InvalidInput));
+        assert_eq!(decisions[3].shed(), Some(ShedReason::InvalidInput));
+        for i in [0usize, 2, 4] {
+            assert!(decisions[i].shed().is_none(), "wafer {i} should be model-served");
+        }
+        let report = engine.report();
+        assert_eq!(report.serving.wafers, 3, "shed wafers never reach the model");
+        assert_eq!(report.serving.shed, 2);
+        assert_eq!(report.serving.submitted, 5);
+    }
+
+    #[test]
+    fn valid_raw_submission_matches_typed_submission_bitwise() {
+        let bundle = tiny_bundle(23);
+        let config = ServeConfig { micro_batch: 4, ..ServeConfig::default() };
+        let maps = wafers(6, 16, 24);
+        let mut typed = Engine::from_bundle(&bundle, config).expect("valid");
+        let mut raw_engine = Engine::from_bundle(&bundle, config).expect("valid");
+        let expect = typed.submit(&maps).expect("matching grid");
+        let raw: Vec<RawWafer> = maps.iter().map(RawWafer::from_map).collect();
+        let got = raw_engine.submit_raw(&raw);
+        assert_eq!(expect, got, "raw path must not perturb decisions");
+    }
+
+    #[test]
+    fn queue_depth_cap_sheds_the_excess_in_order() {
+        let bundle = tiny_bundle(25);
+        let mut engine = Engine::from_bundle(
+            &bundle,
+            ServeConfig { micro_batch: 4, max_queue_depth: Some(3), ..ServeConfig::default() },
+        )
+        .expect("valid");
+        let decisions = engine.submit(&wafers(5, 16, 26)).expect("matching grid");
+        assert!(decisions[..3].iter().all(|d| d.shed().is_none()));
+        assert!(decisions[3..].iter().all(|d| d.shed() == Some(ShedReason::QueueFull)));
+        let report = engine.report();
+        assert_eq!(report.serving.wafers, 3);
+        assert_eq!(report.serving.shed, 2);
+    }
+
+    #[test]
+    fn deadline_sheds_remainder_under_sim_clock() {
+        let bundle = tiny_bundle(27);
+        // The sim clock advances 30ms per read; deadline 50ms. The
+        // pre-loop check reads once per micro-batch, so batch 1 starts
+        // at t=30ms (within budget), batch 2 would start at t=60ms
+        // (over budget) and its wafers are shed.
+        let clock = Arc::new(faultsim::SimClock::with_step(Duration::from_millis(30)));
+        let mut engine = Engine::from_bundle(
+            &bundle,
+            ServeConfig { micro_batch: 2, deadline: Some(0.05), ..ServeConfig::default() },
+        )
+        .expect("valid")
+        .with_clock(clock);
+        let decisions = engine.submit(&wafers(6, 16, 28)).expect("matching grid");
+        assert!(decisions[..2].iter().all(|d| d.shed().is_none()));
+        assert!(decisions[2..].iter().all(|d| d.shed() == Some(ShedReason::DeadlineExceeded)));
+        let report = engine.report();
+        assert_eq!(report.serving.wafers, 2);
+        assert_eq!(report.serving.shed, 4);
+    }
+
+    #[test]
+    fn shed_telemetry_is_labelled_per_reason() {
+        let bundle = tiny_bundle(29);
+        let mut engine = Engine::from_bundle(
+            &bundle,
+            ServeConfig { max_queue_depth: Some(1), ..ServeConfig::default() },
+        )
+        .expect("valid");
+        let maps = wafers(3, 16, 30);
+        let mut raw: Vec<RawWafer> = maps.iter().map(RawWafer::from_map).collect();
+        raw[0].pixels[0] = f32::INFINITY;
+        let _ = engine.submit_raw(&raw);
+        let snapshot = engine.telemetry().snapshot();
+        let shed = |reason: &str| {
+            snapshot
+                .counters
+                .iter()
+                .find(|c| {
+                    c.name == "serve_shed_total"
+                        && c.labels.iter().any(|(k, v)| k == "reason" && v == reason)
+                })
+                .map(|c| c.value)
+                .unwrap_or_else(|| panic!("missing serve_shed_total{{reason={reason}}}"))
+        };
+        assert_eq!(shed("invalid_input"), 1);
+        assert_eq!(shed("queue_full"), 1);
+        assert_eq!(shed("deadline_exceeded"), 0);
+    }
+
+    #[test]
+    fn validate_raw_reports_the_fault_kind() {
+        let bundle = tiny_bundle(31);
+        let engine = Engine::from_bundle(&bundle, ServeConfig::default()).expect("valid");
+        let good = RawWafer::from_map(&wafers(1, 16, 32)[0]);
+        assert!(engine.validate_raw(&good).is_ok());
+
+        let mut shape = good.clone();
+        shape.width = 24;
+        shape.height = 24;
+        assert!(matches!(
+            engine.validate_raw(&shape),
+            Err(InputFault::ShapeMismatch { expected: 16, found: (24, 24) })
+        ));
+
+        let mut short = good.clone();
+        short.pixels.pop();
+        assert!(matches!(
+            engine.validate_raw(&short),
+            Err(InputFault::LengthMismatch { expected: 256, found: 255 })
+        ));
+
+        let mut nan = good.clone();
+        nan.pixels[9] = f32::NAN;
+        assert!(matches!(engine.validate_raw(&nan), Err(InputFault::NonFinite { index: 9 })));
+
+        let mut level = good;
+        level.pixels[4] = 0.77;
+        assert!(matches!(
+            engine.validate_raw(&level),
+            Err(InputFault::IllegalLevel { index: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn retry_policy_backoff_doubles_and_caps() {
+        let policy = RetryPolicy {
+            attempts: 5,
+            initial_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_millis(350),
+        };
+        assert_eq!(policy.backoff(0), Duration::from_millis(100));
+        assert_eq!(policy.backoff(1), Duration::from_millis(200));
+        assert_eq!(policy.backoff(2), Duration::from_millis(350));
+        assert_eq!(policy.backoff(30), Duration::from_millis(350));
+    }
+
+    #[test]
+    fn load_retry_gives_up_after_bounded_attempts_on_io_errors() {
+        let missing = std::env::temp_dir().join("wm-serve-retry-missing.bundle.json");
+        let _ = std::fs::remove_file(&missing);
+        let mut sleeps = Vec::new();
+        let err = load_bundle_with_retry(
+            &missing,
+            RetryPolicy {
+                attempts: 3,
+                initial_backoff: Duration::from_millis(10),
+                max_backoff: Duration::from_millis(15),
+            },
+            |d| sleeps.push(d),
+        )
+        .expect_err("file does not exist");
+        assert!(matches!(err, LoadError::Io { .. }));
+        assert_eq!(
+            sleeps,
+            vec![Duration::from_millis(10), Duration::from_millis(15)],
+            "two backoffs between three attempts, doubled then capped"
+        );
     }
 
     #[test]
